@@ -1,0 +1,82 @@
+// Command abftscan explores ABFT coverage for DGEMM: it runs a campaign,
+// classifies every SDC's spatial locality, reports the correctable share
+// (single + line, §III/§V-A), and then demonstrates live correction on a
+// dense checksummed product.
+//
+// Usage:
+//
+//	abftscan [-device k40|phi] [-size N] [-strikes N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radcrit"
+	"radcrit/internal/abft"
+	"radcrit/internal/grid"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+func main() {
+	deviceFlag := flag.String("device", "k40", "device: k40 or phi")
+	size := flag.Int("size", 256, "matrix side")
+	strikes := flag.Int("strikes", 400, "strikes to simulate")
+	seed := flag.Uint64("seed", 11, "campaign seed")
+	flag.Parse()
+
+	var dev radcrit.Device
+	switch *deviceFlag {
+	case "k40":
+		dev = radcrit.K40()
+	case "phi":
+		dev = radcrit.XeonPhi()
+	default:
+		fmt.Fprintf(os.Stderr, "abftscan: unknown device %q\n", *deviceFlag)
+		os.Exit(2)
+	}
+
+	kern := radcrit.NewDGEMM(*size)
+	res := radcrit.RunCampaign(dev, kern, radcrit.CampaignConfig(*seed, *strikes))
+	cov := abft.EvaluateCoverage(res.Reports)
+
+	fmt.Printf("ABFT coverage scan: DGEMM %s on %s, %d strikes, %d SDCs\n",
+		kern.InputLabel(), dev.ShortName(), *strikes, len(res.Reports))
+	fmt.Printf("  correctable (single/line): %d\n", cov.Correctable)
+	fmt.Printf("  detect-only (square/random): %d\n", cov.DetectOnly)
+	fmt.Printf("  correctable fraction: %.0f%%\n", 100*cov.CorrectableFraction())
+	fmt.Printf("  (paper §V-A: ABFT leaves 20-40%% of errors on the K40, 60-80%% on the Phi)\n\n")
+
+	// Live demonstration on a small checksummed product.
+	demo()
+}
+
+// demo corrupts a checksummed product with a line error and repairs it.
+func demo() {
+	const n = 64
+	rng := xrand.New(99)
+	a, b := grid.New2D(n, n), grid.New2D(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = 0.5 + 1.5*rng.Float64()
+		b.Data()[i] = 0.5 + 1.5*rng.Float64()
+	}
+	cs := abft.Multiply(a, b)
+	truth := cs.C.Clone()
+
+	// A line error: 8 adjacent elements of one row corrupted.
+	for j := 10; j < 18; j++ {
+		cs.C.Set2(j, 20, cs.C.At2(j, 20)*2)
+	}
+	before := metrics.Evaluate(truth, cs.C)
+	audit := cs.Audit(0)
+	after := metrics.Evaluate(truth, cs.C)
+
+	fmt.Printf("live audit demo (%dx%d product, 8-element line error):\n", n, n)
+	fmt.Printf("  before: %d corrupted elements (%v locality)\n", before.Count(), before.Locality())
+	fmt.Printf("  audit:  detected=%v corrected=%d uncorrectable=%v\n",
+		audit.Detected, audit.Corrected, audit.Uncorrectable)
+	fmt.Printf("  after:  %d corrupted elements above 1e-6%% relative\n",
+		after.Filter(1e-6).Count())
+}

@@ -1,0 +1,101 @@
+// Command beamsim runs one simulated neutron-beam campaign cell — a
+// device, a kernel, an input size, a strike budget — and writes the
+// CAROL-style log plus a summary, mirroring what a real LANSCE/ISIS slot
+// produces.
+//
+// Usage:
+//
+//	beamsim -device k40|phi -kernel dgemm|lavamd|hotspot|clamr
+//	        [-size N] [-strikes N] [-seed S] [-scale test|paper]
+//	        [-o campaign.log]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radcrit"
+	"radcrit/internal/campaign"
+)
+
+func main() {
+	deviceFlag := flag.String("device", "k40", "device: k40 or phi")
+	kernelFlag := flag.String("kernel", "dgemm", "kernel: dgemm, lavamd, hotspot, clamr")
+	size := flag.Int("size", 0, "input size (matrix side / box grid); 0 = scale default")
+	strikes := flag.Int("strikes", 300, "particle strikes to simulate")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	scaleFlag := flag.String("scale", "test", "experiment scale: test or paper")
+	out := flag.String("o", "", "log output path (default stdout)")
+	flag.Parse()
+
+	scale := campaign.TestScale
+	if *scaleFlag == "paper" {
+		scale = campaign.PaperScale
+	}
+
+	var dev radcrit.Device
+	switch *deviceFlag {
+	case "k40":
+		dev = radcrit.K40()
+	case "phi":
+		dev = radcrit.XeonPhi()
+	default:
+		fatal("unknown device %q", *deviceFlag)
+	}
+
+	var kern radcrit.Kernel
+	switch *kernelFlag {
+	case "dgemm":
+		n := *size
+		if n == 0 {
+			sizes := campaign.DGEMMSizes(scale, dev)
+			n = sizes[0]
+		}
+		kern = radcrit.NewDGEMM(n)
+	case "lavamd":
+		g := *size
+		if g == 0 {
+			sizes := campaign.LavaMDSizes(scale, dev)
+			g = sizes[0]
+		}
+		kern = radcrit.NewLavaMD(g)
+	case "hotspot":
+		kern = campaign.HotSpotKernel(scale)
+	case "clamr":
+		kern = campaign.CLAMRKernel(scale)
+	default:
+		fatal("unknown kernel %q", *kernelFlag)
+	}
+
+	res := radcrit.RunCampaign(dev, kern, radcrit.CampaignConfig(*seed, *strikes))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create log: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := radcrit.WriteLog(w, res, *seed); err != nil {
+		fatal("write log: %v", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "campaign: %s %s %s\n", res.Device, res.Kernel, res.Input)
+	fmt.Fprintf(os.Stderr, "  strikes:   %d over %.1f simulated beam hours\n",
+		res.Strikes, res.Exposure.BeamHours)
+	fmt.Fprintf(os.Stderr, "  outcomes:  %d masked, %d SDC, %d crash, %d hang\n",
+		res.Tally.Masked, res.Tally.SDC, res.Tally.Crash, res.Tally.Hang)
+	fmt.Fprintf(os.Stderr, "  SDC:DUE:   %.2f\n", res.Tally.SDCToDUERatio())
+	fmt.Fprintf(os.Stderr, "  SDC FIT:   %.3g a.u. (all), %.3g a.u. (>2%%)\n",
+		res.SDCFIT(0), res.SDCFIT(2))
+	fmt.Fprintf(os.Stderr, "  natural-equivalent exposure: %.3g hours\n",
+		res.Exposure.Facility.EquivalentNaturalHours(res.Exposure.BeamHours))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "beamsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command calibrate prints the analytic (expectation-level) campaign
+// statistics of the device models at paper-scale workloads: per-strike
+// outcome rates, SDC:DUE ratios and SDC-FIT growth with input size. It is
+// the tuning loop for the calibration constants documented in DESIGN.md.
+package main
+
+import (
+	"fmt"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels/clamr"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/hotspot"
+	"radcrit/internal/kernels/lavamd"
+	"radcrit/internal/phi"
+)
+
+func main() {
+	devs := []arch.Device{k40.New(), phi.New()}
+	for _, dev := range devs {
+		fmt.Println("=== ", dev.ShortName())
+		var base float64
+		sizes := []int{1024, 2048, 4096}
+		if dev.Model().VectorWidthBits > 0 {
+			sizes = append(sizes, 8192)
+		}
+		for i, n := range sizes {
+			p := dgemm.New(n).Profile(dev)
+			_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+			area := dev.SensitiveArea(p)
+			fitSDC := sdc * area
+			if i == 0 {
+				base = fitSDC
+			}
+			fmt.Printf("DGEMM %5d: area=%8.0f sdcFIT=%8.1f growth=%.2fx ratio=%.2f\n",
+				n, area, fitSDC, fitSDC/base, sdc/(crash+hang))
+		}
+		lsizes := []int{13, 15, 19, 23}
+		var lbase float64
+		for i, g := range lsizes {
+			// Profile only: avoid building real particle state.
+			p := lavamd.New(g).Profile(dev)
+			_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+			area := dev.SensitiveArea(p)
+			fitSDC := sdc * area
+			if i == 0 {
+				lbase = fitSDC
+			}
+			fmt.Printf("LavaMD %4d: area=%8.0f sdcFIT=%8.1f growth=%.2fx ratio=%.2f\n",
+				g, area, fitSDC, fitSDC/lbase, sdc/(crash+hang))
+		}
+		// HotSpot / CLAMR profiles without golden computation:
+		hp := hotspotProfile(dev)
+		_, sdc, crash, hang := dev.Model().ExpectedRates(hp)
+		fmt.Printf("HotSpot    : area=%8.0f sdcFIT=%8.1f ratio=%.2f\n",
+			dev.SensitiveArea(hp), sdc*dev.SensitiveArea(hp), sdc/(crash+hang))
+		cp := clamrProfile(dev)
+		_, sdc, crash, hang = dev.Model().ExpectedRates(cp)
+		fmt.Printf("CLAMR      : area=%8.0f sdcFIT=%8.1f ratio=%.2f\n",
+			dev.SensitiveArea(cp), sdc*dev.SensitiveArea(cp), sdc/(crash+hang))
+	}
+}
+
+// hotspotProfile mirrors hotspot.Kernel.Profile at paper scale without the
+// golden simulation.
+func hotspotProfile(dev arch.Device) arch.Profile {
+	k := hotspot.New(64, 4) // throwaway instance for the method
+	p := k.Profile(dev)
+	cells := 1024 * 1024
+	p.InputLabel = "1024x1024"
+	p.Threads = cells
+	p.Blocks = (1024 / hotspot.TileSide) * (1024 / hotspot.TileSide)
+	p.CacheFootprintKB = 2 * float64(cells) * 4 / 1024
+	p.RelRuntime = 1
+	return p
+}
+
+func clamrProfile(dev arch.Device) arch.Profile {
+	k := clamr.New(32, 10) // throwaway
+	p := k.Profile(dev)
+	cells := 512 * 512
+	p.InputLabel = "512x512"
+	p.Threads = int(float64(cells) * 1.3)
+	p.Blocks = (512 / clamr.TileSide) * (512 / clamr.TileSide)
+	p.CacheFootprintKB = 3 * float64(cells) * 8 / 1024
+	p.RelRuntime = 1
+	return p
+}

@@ -1,0 +1,50 @@
+// Command criticality re-analyses a campaign log with a chosen
+// relative-error filter: the "third-party analysis" workflow the paper
+// enables by publishing its raw corrupted outputs. Different consumers
+// tolerate different imprecision (a seismic code accepts ~4% misfits,
+// §II-B), so the same log yields different criticality profiles.
+//
+// Usage:
+//
+//	criticality [-threshold PCT] [-cap PCT] campaign.log [more.log...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radcrit"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", radcrit.DefaultThresholdPct,
+		"relative-error tolerance in percent (0 keeps every mismatch)")
+	cap := flag.Float64("cap", 0, "per-element relative-error display cap in percent (0 = none)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "criticality: no log files given")
+		os.Exit(2)
+	}
+
+	opts := radcrit.AnalysisOptions{ThresholdPct: *threshold, CapPct: *cap}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "criticality: %v\n", err)
+			os.Exit(1)
+		}
+		l, err := radcrit.ParseLog(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "criticality: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		c := radcrit.AnalyzeLog(l, opts)
+		fmt.Printf("%s — %s %s %s (%d executions, %.1f beam hours)\n",
+			path, l.Device, l.Kernel, l.Input, l.Executions, l.BeamHours)
+		fmt.Print(c)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,185 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (§V) from simulated beam campaigns.
+//
+// Usage:
+//
+//	figures [-scale test|paper] [-strikes N] [-seed S] [-only ID[,ID...]]
+//
+// IDs: T1 T2 F2 F3 F4 F5 F6 F7 F8 F9 S1 S2 S3 S4 X1 (see DESIGN.md §3).
+// The test scale runs the full set in tens of seconds; the paper scale
+// uses Table II input sizes and takes considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/campaign"
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/phi"
+	"radcrit/internal/report"
+	"radcrit/internal/swinject"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "test", "experiment scale: test or paper")
+	strikes := flag.Int("strikes", 400, "strikes per experiment cell")
+	seed := flag.Uint64("seed", 2017, "campaign seed")
+	only := flag.String("only", "", "comma-separated artifact IDs (default: all)")
+	flag.Parse()
+
+	scale := campaign.TestScale
+	switch *scaleFlag {
+	case "test":
+	case "paper":
+		scale = campaign.PaperScale
+	default:
+		fmt.Fprintln(os.Stderr, "figures: -scale must be test or paper")
+		os.Exit(2)
+	}
+	cfg := campaign.DefaultConfig(*seed, *strikes)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	w := os.Stdout
+	k40Dev := k40.New()
+	phiDev := phi.New()
+
+	if sel("T1") {
+		header(w, "Table I — classification of parallel kernels")
+		t := &report.Table{Header: []string{"kernel", "bound by", "load balance", "memory access"}}
+		for _, k := range campaign.AllKernels(scale, k40Dev) {
+			c := k.Class()
+			t.Add(k.Name(), c.BoundBy, c.LoadBalance, c.MemoryAccess)
+		}
+		t.Render(w)
+	}
+
+	if sel("T2") {
+		header(w, "Table II — parallel kernels' details")
+		t := &report.Table{Header: []string{"kernel", "domain", "input size", "#threads (K40)", "#threads (Phi)"}}
+		for i, k := range campaign.AllKernels(scale, k40Dev) {
+			pk := k.Profile(k40Dev)
+			pp := campaign.AllKernels(scale, phiDev)[i].Profile(phiDev)
+			t.Add(k.Name(), k.Domain(), k.InputLabel(),
+				fmt.Sprint(pk.Threads), fmt.Sprint(pp.Threads))
+		}
+		t.Render(w)
+	}
+
+	if sel("F2") {
+		header(w, "Figure 2 — DGEMM mean relative error vs incorrect elements")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.Scatter(w, campaign.BuildDGEMMScatter(dev, scale, cfg), 64, 16)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("F3") {
+		header(w, "Figure 3 — DGEMM spatial locality and magnitude (FIT a.u.)")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.LocalityBars(w, campaign.BuildDGEMMLocality(dev, scale, cfg, 2), 60)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("F4") {
+		header(w, "Figure 4 — LavaMD mean relative error vs incorrect elements")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.Scatter(w, campaign.BuildLavaMDScatter(dev, scale, cfg), 64, 16)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("F5") {
+		header(w, "Figure 5 — LavaMD spatial locality and magnitude (FIT a.u.)")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.LocalityBars(w, campaign.BuildLavaMDLocality(dev, scale, cfg, 2), 60)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("F6") {
+		header(w, "Figure 6 — HotSpot mean relative error vs incorrect elements")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.Scatter(w, campaign.BuildHotSpotScatter(dev, scale, cfg), 64, 16)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("F7") {
+		header(w, "Figure 7 — HotSpot spatial locality and magnitude (FIT a.u.)")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.LocalityBars(w, campaign.BuildHotSpotLocality(dev, scale, cfg, 2), 60)
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("F8") {
+		header(w, "Figure 8 — CLAMR mean relative error vs incorrect elements (Xeon Phi)")
+		report.Scatter(w, campaign.BuildCLAMRScatter(phiDev, scale, cfg), 64, 16)
+	}
+
+	if sel("F9") {
+		header(w, "Figure 9 — CLAMR error locality map")
+		report.LocalityMap(w, campaign.BuildCLAMRLocalityMap(phiDev, scale, cfg), 64)
+	}
+
+	if sel("S1") {
+		header(w, "§V preamble — SDC : crash+hang ratios")
+		report.Ratios(w, campaign.BuildSDCRatios(scale, cfg))
+	}
+
+	if sel("S2") {
+		header(w, "§V-A — DGEMM FIT growth with input size")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.Scaling(w, campaign.BuildDGEMMScaling(dev, scale, cfg, 2))
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("S3") {
+		header(w, "§V-A — ABFT-correctable share of DGEMM errors")
+		for _, dev := range []arch.Device{k40Dev, phiDev} {
+			report.ABFT(w, campaign.BuildABFTCoverage(dev, scale, cfg))
+			fmt.Fprintln(w)
+		}
+	}
+
+	if sel("S4") {
+		header(w, "§V-D — CLAMR mass-conservation check coverage")
+		report.MassCheck(w, campaign.BuildMassCheckCoverage(phiDev, scale, cfg, 2))
+	}
+
+	if sel("X1") {
+		header(w, "Extension: §IV-D — beam vs software fault injector")
+		n := campaign.DGEMMSizes(scale, k40Dev)[0]
+		kern := dgemm.New(n)
+		res := campaign.Run(k40Dev, kern, cfg)
+		blind := swinject.Compare(res.ResourceTally)
+		sw := swinject.Run(k40Dev, kern, cfg.Strikes, cfg.Seed)
+		fmt.Fprintf(w, "K40 DGEMM %s, %d beam strikes vs %d software injections\n",
+			kern.InputLabel(), cfg.Strikes, cfg.Strikes)
+		fmt.Fprintf(w, "  software-injector AVF estimate: %.2f\n", sw.AVF)
+		fmt.Fprintf(w, "  beam SDCs outside the injector's reach: %d/%d (%.0f%%)\n",
+			blind.InaccessibleSDCs, blind.BeamSDCs, 100*blind.SDCBlindFraction())
+		fmt.Fprintf(w, "  beam crashes+hangs outside its reach:   %d/%d (%.0f%%)\n",
+			blind.InaccessibleDUEs, blind.BeamDUEs, 100*blind.DUEBlindFraction())
+		fmt.Fprintln(w, "  (the paper's §IV-D argument for beam time: schedulers, dispatchers")
+		fmt.Fprintln(w, "   and control logic are inaccessible to software injectors)")
+	}
+}
+
+func header(w *os.File, title string) {
+	fmt.Fprintf(w, "\n================================================================\n%s\n================================================================\n", title)
+}

@@ -1,0 +1,85 @@
+// Example hotspot_entropy: show the stencil's natural error dissipation
+// (§V-C) and evaluate the entropy-based detector the paper proposes for
+// widespread stencil corruption.
+//
+// An early strike is smoothed toward equilibrium by the same coefficients
+// that smooth heat; a late strike survives to the output. The entropy
+// monitor compares the output's value-distribution disorder against the
+// golden run's.
+package main
+
+import (
+	"fmt"
+
+	"radcrit"
+	"radcrit/internal/arch"
+	"radcrit/internal/detect"
+	"radcrit/internal/fault"
+	"radcrit/internal/floatbits"
+	"radcrit/internal/kernels/hotspot"
+	"radcrit/internal/xrand"
+)
+
+func main() {
+	const (
+		side  = 128
+		iters = 300
+	)
+	fmt.Printf("HotSpot %dx%d, %d iterations: error dissipation and entropy detection\n\n", side, iters, iters)
+
+	kern := radcrit.NewHotSpot(side, iters)
+	dev := radcrit.K40()
+	goldenEntropy := hotspot.Entropy(kern.GoldenFinal(), 64)
+	fmt.Printf("golden output entropy: %.4f bits\n\n", goldenEntropy)
+
+	// Sweep the strike time: the same corruption injected earlier has
+	// longer to dissipate.
+	fmt.Println("strike-time sweep (identical 8-cell line corruption):")
+	fmt.Println("  when   incorrect  mean-rel-err  above-2pct")
+	for _, when := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		inj := arch.Injection{
+			Scope: arch.ScopeCacheLine,
+			When:  when,
+			Words: 8, // 16 float32 cells
+			Lines: 2,
+			Flip:  fault.FlipSpec{Field: floatbits.Exponent, Bits: 1},
+		}
+		rep := kern.RunInjected(dev, inj, xrand.New(5))
+		fmt.Printf("  %.2f   %9d  %11.4g%%  %12d\n",
+			when, rep.Count(), rep.MeanRelErrPct(1e6), rep.Filter(2).Count())
+	}
+	fmt.Println()
+
+	// Entropy detector over a small campaign. The interesting targets are
+	// the *widespread* corruptions: many slightly-wrong elements that the
+	// 2% filter would individually wave through but whose accumulated
+	// error matters (§V-C) — exactly what a per-element check misses and
+	// a distribution-level monitor can see.
+	fmt.Println("entropy detector over widespread SDCs (>=100 corrupted elements):")
+	var stats detect.CoverageStats
+	rng := xrand.New(11)
+	prof := kern.Profile(dev)
+	for i := 0; i < 800; i++ {
+		sub := rng.Split(uint64(i))
+		syn := dev.ResolveStrike(prof, fault.Strike{When: sub.Float64(), Energy: 1}, sub)
+		if syn.Outcome != fault.SDC {
+			continue
+		}
+		// Identical injection RNG streams so the dense run and the report
+		// describe the same corrupted execution.
+		golden, faulty := kern.RunDense(dev, syn.Injection, rng.Split(uint64(i)+1_000_000))
+		rep := kern.RunInjected(dev, syn.Injection, rng.Split(uint64(i)+1_000_000))
+		if rep.Count() < 100 {
+			continue // not widespread
+		}
+		r := detect.EntropyCheck(hotspot.Entropy(golden, 256), hotspot.Entropy(faulty, 256), 1e-5)
+		stats.Add(r.Fired)
+	}
+	fmt.Printf("  widespread SDCs evaluated: %d\n", stats.Evaluated)
+	fmt.Printf("  detected by entropy shift: %d (%.0f%% coverage)\n",
+		stats.Detected, 100*stats.Coverage())
+	fmt.Println()
+	fmt.Println("The paper (§V-C) notes stencil errors dissipate into small per-element")
+	fmt.Println("disparities with significant accumulated error — neighbour checks miss")
+	fmt.Println("them, while a system-level entropy monitor can catch the spread cases.")
+}

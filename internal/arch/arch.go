@@ -1,0 +1,198 @@
+// Package arch defines the behavioural architecture model shared by the two
+// accelerator simulators (internal/k40 and internal/phi).
+//
+// The paper's central observation is that error *criticality* is decided by
+// the device architecture: where data lives (registers vs caches), for how
+// long (scheduling philosophy), how widely it is shared (cache size and
+// coherence), and which functional unit produced it (FPU vs transcendental
+// SFU vs 512-bit vector lanes). This package models exactly those levers:
+//
+//   - a Profile describes how a kernel occupies a device (threads, blocks,
+//     local-memory footprint, arithmetic mix);
+//   - a Model describes a device (resource inventory, technology
+//     sensitivity, scheduler philosophy, flip-field distributions);
+//   - ResolveStrike maps a raw beam Strike onto a Syndrome: either a
+//     masked event, a crash, a hang, or an SDC with a concrete Injection
+//     that a kernel then applies to its own live state.
+//
+// Kernels interpret Injections in their own terms (a cache line of the A
+// matrix, a particle in a LavaMD box, a temperature cell mid-iteration) and
+// continue the *real* computation so that error propagation — smoothing in
+// stencils, amplification through exponentials, block-wide corruption from
+// scheduler strikes — is emergent rather than scripted.
+package arch
+
+import (
+	"fmt"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/grid"
+	"radcrit/internal/xrand"
+)
+
+// Profile describes how one kernel with one input size occupies a device.
+// It is produced by the kernel for a specific device (occupancy differs
+// between architectures, cf. Table II of the paper).
+type Profile struct {
+	// Kernel is the benchmark name ("dgemm", "lavamd", ...).
+	Kernel string
+	// InputLabel names the input configuration ("2048x2048", "grid 19"...).
+	InputLabel string
+	// OutputDims is the shape of the output array the metrics inspect.
+	OutputDims grid.Dims
+
+	// Threads is the total number of parallel work items instantiated.
+	Threads int
+	// Blocks is the number of thread blocks / core tasks.
+	Blocks int
+	// LocalMemPerBlockKB is per-block shared/local memory use; it limits
+	// how many blocks are simultaneously active on a GPU SM.
+	LocalMemPerBlockKB float64
+	// CacheFootprintKB is the input working set cycling through caches.
+	CacheFootprintKB float64
+
+	// FPUShare, SFUShare, VectorShare and ControlShare describe the
+	// instruction mix: fraction of dynamic work through the plain FP
+	// datapath, the transcendental unit, the SIMD unit and control flow.
+	FPUShare, SFUShare, VectorShare, ControlShare float64
+
+	// MemoryBound mirrors Table I's "bound by" classification.
+	MemoryBound bool
+	// Irregular mirrors Table I's memory-access-pattern classification.
+	Irregular bool
+
+	// StreamingData marks kernels whose cached input lines are consumed
+	// in a single burst and then die (LavaMD's particle boxes): an upset
+	// in such a line usually lands on dead data and is masked.
+	StreamingData bool
+
+	// DispatchFactor scales hardware-scheduler strain relative to DGEMM's
+	// block-streaming baseline (1.0). Kernels whose local-memory footprint
+	// caps occupancy (LavaMD, §V-B) or that amortise dispatch over long-
+	// lived blocks strain the scheduler less per instantiated thread.
+	// Zero means "use the default of 1".
+	DispatchFactor float64
+	// IterativeLaunches marks kernels relaunched every time step
+	// (HotSpot, CLAMR). A scheduler upset between launches is usually
+	// absorbed by the next launch re-reading state, so scheduler strikes
+	// are predominantly masked rather than silently corrupting.
+	IterativeLaunches bool
+
+	// RelRuntime is the execution wall time in arbitrary units; the beam
+	// model uses it as exposure time per run.
+	RelRuntime float64
+}
+
+// Validate reports a descriptive error for an unusable profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Kernel == "":
+		return fmt.Errorf("arch: profile has no kernel name")
+	case !p.OutputDims.Valid():
+		return fmt.Errorf("arch: profile %q has invalid output dims", p.Kernel)
+	case p.Threads <= 0 || p.Blocks <= 0:
+		return fmt.Errorf("arch: profile %q has non-positive threads/blocks", p.Kernel)
+	case p.RelRuntime <= 0:
+		return fmt.Errorf("arch: profile %q has non-positive runtime", p.Kernel)
+	}
+	return nil
+}
+
+// Scope is the semantic target of an SDC injection. Each kernel translates
+// the scope into corruption of its own live state.
+type Scope int
+
+const (
+	// ScopeAccumTerm perturbs a single term inside a reduction while it
+	// transits the FP datapath; the surrounding correct terms dilute it.
+	ScopeAccumTerm Scope = iota
+	// ScopeOutputWord corrupts one already-computed result word.
+	ScopeOutputWord
+	// ScopeInputWord corrupts one input/state word before it is consumed.
+	ScopeInputWord
+	// ScopeCacheLine corrupts Words contiguous input/state words (one or
+	// more cache lines) before they are consumed.
+	ScopeCacheLine
+	// ScopeSharedTile corrupts a block-shared staging tile: every consumer
+	// of the tile reads poisoned data.
+	ScopeSharedTile
+	// ScopeVectorLanes corrupts Words adjacent output words written from
+	// one SIMD register.
+	ScopeVectorLanes
+	// ScopeTaskSet makes Tasks whole work units execute incorrectly
+	// (scheduler/dispatcher corruption).
+	ScopeTaskSet
+)
+
+// String returns the scope name.
+func (s Scope) String() string {
+	switch s {
+	case ScopeAccumTerm:
+		return "accum-term"
+	case ScopeOutputWord:
+		return "output-word"
+	case ScopeInputWord:
+		return "input-word"
+	case ScopeCacheLine:
+		return "cache-line"
+	case ScopeSharedTile:
+		return "shared-tile"
+	case ScopeVectorLanes:
+		return "vector-lanes"
+	case ScopeTaskSet:
+		return "task-set"
+	default:
+		return "unknown"
+	}
+}
+
+// Injection is the concrete SDC directive a kernel applies to its state.
+type Injection struct {
+	// Resource is the struck structure (for logging/analysis).
+	Resource fault.Resource
+	// Scope selects the corruption semantics.
+	Scope Scope
+	// When is the execution progress fraction [0,1) of the strike.
+	When float64
+	// Words is the contiguous word count per corrupted line for
+	// line/tile/lane scopes.
+	Words int
+	// Lines is the number of distinct corrupted lines. A physical cache
+	// line is refilled by successive addresses during a run; if its cell
+	// is upset, every occupant read before eviction is poisoned. Large
+	// shared caches (Phi) therefore spread one strike over several
+	// distinct address ranges (paper §V-E).
+	Lines int
+	// Tasks is the work-unit count for ScopeTaskSet.
+	Tasks int
+	// OutputBias is the probability that corrupted cached data is on the
+	// output side (already-computed results) rather than the input side
+	// (operands still to be consumed). Input-side corruption is diluted
+	// by downstream arithmetic; output-side corruption is not.
+	OutputBias float64
+	// Flip is the per-word bit perturbation.
+	Flip fault.FlipSpec
+}
+
+// Syndrome is the resolved effect of one strike.
+type Syndrome struct {
+	Resource fault.Resource
+	Outcome  fault.OutcomeClass
+	// Injection is meaningful only when Outcome == fault.SDC.
+	Injection Injection
+}
+
+// Device is an accelerator model.
+type Device interface {
+	// Name returns the full device name (e.g. "NVIDIA Tesla K40").
+	Name() string
+	// ShortName returns the figure label ("K40", "XeonPhi").
+	ShortName() string
+	// Model exposes the underlying parameter set.
+	Model() *Model
+	// SensitiveArea returns the device+workload relative cross-section
+	// in arbitrary units; the beam converts it into a strike rate.
+	SensitiveArea(p Profile) float64
+	// ResolveStrike maps a strike to its syndrome under workload p.
+	ResolveStrike(p Profile, s fault.Strike, rng *xrand.RNG) Syndrome
+}

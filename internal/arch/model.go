@@ -1,0 +1,487 @@
+package arch
+
+import (
+	"fmt"
+	"math"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/xrand"
+)
+
+// FlipDist is a weighted distribution over bit-flip specifications. Devices
+// use different distributions for datapath and storage strikes: a strike
+// surviving ECC scrubbing tends to sit in narrow pipeline latches (mantissa
+// end of an FMA), while an unprotected SRAM word flips uniformly.
+type FlipDist struct {
+	Specs   []fault.FlipSpec
+	Weights []float64
+}
+
+// Sample draws one flip specification. It panics on an empty distribution —
+// a misconfigured device model should fail loudly at first use.
+func (d FlipDist) Sample(rng *xrand.RNG) fault.FlipSpec {
+	if len(d.Specs) == 0 || len(d.Specs) != len(d.Weights) {
+		panic("arch: FlipDist misconfigured")
+	}
+	return d.Specs[rng.WeightedChoice(d.Weights)]
+}
+
+// Model is a parameterised behavioural accelerator. Both device packages
+// (internal/k40, internal/phi) construct one of these; the parameters are
+// the documented calibration surface of the reproduction.
+type Model struct {
+	DeviceName string // full marketing name
+	Short      string // figure label
+	TechNode   string // "28nm planar", "22nm Tri-Gate"
+
+	// StorageSensitivity is the relative per-KB neutron cross-section of
+	// SRAM arrays; LogicSensitivity the per-area-unit cross-section of
+	// combinational/sequential logic. FinFET/Tri-Gate devices show ~10x
+	// lower per-bit sensitivity than planar ones (paper §IV-A, [28]).
+	StorageSensitivity float64
+	LogicSensitivity   float64
+
+	// Inventory.
+	NumCores           int     // SMs (K40) or physical cores (Phi)
+	HWThreadsPerCore   int     // resident thread contexts per core
+	RegisterFileKB     float64 // total architectural register file
+	SharedMemKBPerCore float64 // GPU shared/local memory (0 on Phi)
+	L1KBPerCore        float64
+	L2KBTotal          float64
+	CacheLineBytes     int
+	VectorWidthBits    int // 512 on Phi, 0 on K40
+
+	// Protection and scheduling philosophy.
+	ECCRegisterFile   bool
+	ECCSharedMemory   bool    // Kepler protects shared memory/L1 with ECC
+	ECCEscapeProb     float64 // SDC probability given a struck, ECC'd word
+	HardwareScheduler bool    // true: NVIDIA-style HW warp scheduler
+
+	// Relative logic areas (arbitrary units).
+	FPUAreaAU       float64
+	SFUAreaAU       float64 // transcendental unit (0 on Phi)
+	VectorAreaAU    float64 // SIMD datapath (0 on K40)
+	SchedulerAreaAU float64
+	DispatchAreaAU  float64
+	ControlAreaAU   float64
+	ICacheAreaAU    float64
+
+	// ControlFloor is the minimum effective control-share: control and
+	// dispatch structures that are busy regardless of the kernel's own
+	// control intensity. Near zero for a GPU; substantial for the Xeon
+	// Phi, whose embedded Linux (MPSS) services run continuously beside
+	// the workload and keep OS control state strikeable on-chip.
+	ControlFloor float64
+
+	// L2SharingDegree scales how many distinct consumers read a corrupted
+	// L2 line before eviction. The Phi's large coherent L2 keeps corrupted
+	// data alive much longer (paper §V-E), spreading single strikes over
+	// many output elements.
+	L2SharingDegree float64
+
+	// SchedStrainAt64K is the scheduler-strain multiplier minus one at a
+	// reference 64K instantiated threads; strain grows as
+	// (threads/64K)^SchedStrainExponent. Near zero for an OS-software
+	// scheduler whose working state lives in (un-irradiated) DRAM.
+	SchedStrainAt64K float64
+	// SchedStrainExponent is the superlinearity of strain growth: queue
+	// and bookkeeping structures grow faster than linearly with the
+	// managed thread count.
+	SchedStrainExponent float64
+	// RFResidencyPerKWaiting scales register-file exposure with the number
+	// of threads waiting to be dispatched; the K40 keeps waiting threads'
+	// data in registers, the Phi leaves it in DRAM (paper §V-A (2)).
+	RFResidencyPerKWaiting float64
+
+	// Flip-field distributions.
+	DatapathFlip FlipDist // FPU/SFU/vector results
+	StorageFlip  FlipDist // SRAM words
+	RFEscapeFlip FlipDist // ECC-escaping queue/latch words
+
+	// FPUScope is the injection scope of FPU datapath strikes:
+	// ScopeAccumTerm on short GPU pipelines (error diluted inside one
+	// reduction), ScopeOutputWord on the Phi's longer in-order pipeline.
+	FPUScope Scope
+
+	// CacheOutputBias is the probability that a corrupted cache line holds
+	// output-side data. On the K40, hot cached data are the shared-memory
+	// input tiles (C is written through); on the Phi, each core's private
+	// L2 keeps its block of the result resident.
+	CacheOutputBias float64
+}
+
+var _ Device = (*Model)(nil)
+
+// Name returns the device's full name.
+func (m *Model) Name() string { return m.DeviceName }
+
+// ShortName returns the figure label.
+func (m *Model) ShortName() string { return m.Short }
+
+// Model returns m itself (Device interface accessor).
+func (m *Model) Model() *Model { return m }
+
+// Validate reports the first configuration error found.
+func (m *Model) Validate() error {
+	switch {
+	case m.DeviceName == "" || m.Short == "":
+		return fmt.Errorf("arch: model missing name")
+	case m.NumCores <= 0 || m.HWThreadsPerCore <= 0:
+		return fmt.Errorf("arch: model %s has no cores", m.Short)
+	case m.StorageSensitivity <= 0 || m.LogicSensitivity <= 0:
+		return fmt.Errorf("arch: model %s has non-positive sensitivities", m.Short)
+	case m.CacheLineBytes < 8:
+		return fmt.Errorf("arch: model %s cache line under one word", m.Short)
+	case len(m.DatapathFlip.Specs) == 0 || len(m.StorageFlip.Specs) == 0:
+		return fmt.Errorf("arch: model %s missing flip distributions", m.Short)
+	}
+	return nil
+}
+
+// residentCapacity is the number of thread contexts the device keeps in
+// hardware at once.
+func (m *Model) residentCapacity() float64 {
+	return float64(m.NumCores * m.HWThreadsPerCore)
+}
+
+// activeBlocks returns how many blocks can be resident given the per-block
+// local-memory footprint (the LavaMD effect: heavy local memory limits
+// occupancy and with it scheduler strain, §V-B).
+func (m *Model) activeBlocks(p Profile) float64 {
+	blocks := float64(p.Blocks)
+	if p.LocalMemPerBlockKB <= 0 || m.SharedMemKBPerCore <= 0 {
+		return blocks
+	}
+	perCore := m.SharedMemKBPerCore / p.LocalMemPerBlockKB
+	if perCore < 1 {
+		perCore = 1
+	}
+	maxActive := perCore * float64(m.NumCores)
+	if blocks < maxActive {
+		return blocks
+	}
+	return maxActive
+}
+
+// schedulerStrain models the extra exposure of thread-management state as
+// parallelism grows: hardware schedulers track every instantiated thread
+// and block in SRAM queues, so strain scales with the instantiated count,
+// modulated by the kernel's dispatch intensity (§V-A (1)). An operating-
+// system scheduler keeps run queues in main memory, outside the beam spot,
+// leaving only a small on-chip bookkeeping residue.
+func (m *Model) schedulerStrain(p Profile) float64 {
+	df := p.DispatchFactor
+	if df <= 0 {
+		df = 1
+	}
+	if m.SchedStrainAt64K <= 0 {
+		return 1
+	}
+	x := float64(p.Threads) * df / 65536.0
+	return 1.0 + m.SchedStrainAt64K*pow(x, m.SchedStrainExponent)
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Exp(e * math.Log(x))
+}
+
+// rfExposure models register-file residency: utilisation plus the extra
+// time data waits in registers when more threads are instantiated than the
+// device can run (K40 behaviour; the Phi's waiting threads live in DRAM).
+// The waiting contribution follows the same dispatch modulation as the
+// scheduler: blocks that are not yet resident hold no registers.
+func (m *Model) rfExposure(p Profile) float64 {
+	capacity := m.residentCapacity()
+	util := float64(p.Threads) / capacity
+	if util > 1 {
+		util = 1
+	}
+	if util < 0.05 {
+		util = 0.05
+	}
+	waitingK := (float64(p.Threads) - capacity) / 1000.0
+	if waitingK < 0 {
+		waitingK = 0
+	}
+	df := p.DispatchFactor
+	if df <= 0 {
+		df = 1
+	}
+	return util * (1.0 + m.RFResidencyPerKWaiting*waitingK*df)
+}
+
+// cacheUtil is the live fraction of a cache of capKB under a working set
+// of footKB, floored so streaming kernels still expose some state.
+func cacheUtil(footKB, capKB float64) float64 {
+	if capKB <= 0 {
+		return 0
+	}
+	u := footKB / capKB
+	if u > 1 {
+		u = 1
+	}
+	if u < 0.25 {
+		u = 0.25
+	}
+	return u
+}
+
+// resourceWeights returns the relative strike cross-section of every
+// resource under workload p. The sum is the device's sensitive area.
+func (m *Model) resourceWeights(p Profile) []float64 {
+	w := make([]float64, fault.NumResources)
+
+	w[fault.RegisterFile] = m.RegisterFileKB * m.StorageSensitivity * m.rfExposure(p)
+	if m.SharedMemKBPerCore > 0 && p.LocalMemPerBlockKB > 0 {
+		used := p.LocalMemPerBlockKB * m.activeBlocks(p)
+		total := m.SharedMemKBPerCore * float64(m.NumCores)
+		if used > total {
+			used = total
+		}
+		w[fault.SharedMemory] = used * m.StorageSensitivity
+	}
+	l1Total := m.L1KBPerCore * float64(m.NumCores)
+	w[fault.L1Cache] = l1Total * m.StorageSensitivity * cacheUtil(p.CacheFootprintKB, l1Total)
+	w[fault.L2Cache] = m.L2KBTotal * m.StorageSensitivity * cacheUtil(p.CacheFootprintKB, m.L2KBTotal)
+
+	w[fault.FPU] = m.FPUAreaAU * m.LogicSensitivity * p.FPUShare
+	w[fault.SFU] = m.SFUAreaAU * m.LogicSensitivity * p.SFUShare
+	w[fault.VectorUnit] = m.VectorAreaAU * m.LogicSensitivity * p.VectorShare
+	w[fault.Scheduler] = m.SchedulerAreaAU * m.LogicSensitivity * m.schedulerStrain(p)
+	// Control-path exposure follows the kernel's control-flow intensity:
+	// dispatch and control structures only hold live (strikeable) state
+	// while branches, launches and rebalancing keep them busy.
+	cs := p.ControlShare
+	if cs < m.ControlFloor {
+		cs = m.ControlFloor
+	}
+	if cs < 0.05 {
+		cs = 0.05
+	}
+	w[fault.Dispatcher] = m.DispatchAreaAU * m.LogicSensitivity * cs
+	w[fault.ControlLogic] = m.ControlAreaAU * m.LogicSensitivity * cs
+	w[fault.InstructionPath] = m.ICacheAreaAU * m.LogicSensitivity * cs
+
+	return w
+}
+
+// SensitiveArea returns the total relative cross-section of the device
+// running workload p, in arbitrary units.
+func (m *Model) SensitiveArea(p Profile) float64 {
+	var total float64
+	for _, w := range m.resourceWeights(p) {
+		total += w
+	}
+	return total
+}
+
+// outcomeDist returns the outcome-class distribution of a strike on
+// resource r under workload p.
+func (m *Model) outcomeDist(r fault.Resource, p Profile) fault.OutcomeDist {
+	// Control-heavy codes (CLAMR: many kernel launches, AMR rebalancing)
+	// convert more strikes into crashes.
+	crashBoost := 1.0 + 2.0*p.ControlShare
+
+	switch r {
+	case fault.RegisterFile:
+		if m.ECCRegisterFile {
+			esc := m.ECCEscapeProb
+			return fault.OutcomeDist{Masked: 1 - esc, SDC: esc * 0.9, Crash: esc * 0.1}
+		}
+		return fault.OutcomeDist{Masked: 0.30, SDC: 0.62, Crash: 0.06 * crashBoost, Hang: 0.02}
+	case fault.SharedMemory:
+		if m.ECCSharedMemory {
+			esc := m.ECCEscapeProb
+			return fault.OutcomeDist{Masked: 1 - esc, SDC: esc * 0.8, Crash: esc * 0.15, Hang: esc * 0.05}
+		}
+		return fault.OutcomeDist{Masked: 0.35, SDC: 0.60, Crash: 0.04 * crashBoost, Hang: 0.01}
+	case fault.L1Cache, fault.L2Cache:
+		if p.StreamingData {
+			return fault.OutcomeDist{Masked: 0.75, SDC: 0.22, Crash: 0.025 * crashBoost, Hang: 0.005}
+		}
+		return fault.OutcomeDist{Masked: 0.43, SDC: 0.53, Crash: 0.03 * crashBoost, Hang: 0.01}
+	case fault.FPU, fault.SFU:
+		return fault.OutcomeDist{Masked: 0.38, SDC: 0.60, Crash: 0.02}
+	case fault.VectorUnit:
+		return fault.OutcomeDist{Masked: 0.35, SDC: 0.60, Crash: 0.05}
+	case fault.Scheduler:
+		if p.IterativeLaunches {
+			// Per-timestep kernels re-dispatch every iteration; a
+			// scheduler upset is usually absorbed by the next launch
+			// re-reading the state arrays.
+			return fault.OutcomeDist{Masked: 0.81, SDC: 0.10, Crash: 0.06 * crashBoost, Hang: 0.03}
+		}
+		if m.HardwareScheduler {
+			return fault.OutcomeDist{Masked: 0.15, SDC: 0.45, Crash: 0.28 * crashBoost, Hang: 0.12}
+		}
+		// OS scheduler: the crash-prone kernel structures (run queues,
+		// page tables) live in DRAM outside the beam spot; what remains
+		// strikeable on-chip is mostly user-visible thread context, so a
+		// surviving upset tends to mis-schedule (SDC) rather than panic.
+		return fault.OutcomeDist{Masked: 0.35, SDC: 0.52, Crash: 0.10 * crashBoost, Hang: 0.03}
+	case fault.Dispatcher:
+		return fault.OutcomeDist{Masked: 0.30, SDC: 0.12, Crash: 0.45 * crashBoost, Hang: 0.13}
+	case fault.ControlLogic:
+		return fault.OutcomeDist{Masked: 0.22, SDC: 0.06, Crash: 0.45 * crashBoost, Hang: 0.27}
+	case fault.InstructionPath:
+		return fault.OutcomeDist{Masked: 0.30, SDC: 0.06, Crash: 0.55 * crashBoost, Hang: 0.09}
+	default:
+		return fault.OutcomeDist{Masked: 1}
+	}
+}
+
+// lineWords is the number of float64 words per cache line.
+func (m *Model) lineWords() int {
+	w := m.CacheLineBytes / 8
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// buildInjection constructs the SDC directive for a strike on resource r.
+func (m *Model) buildInjection(r fault.Resource, p Profile, s fault.Strike, rng *xrand.RNG) Injection {
+	inj := Injection{
+		Resource:   r,
+		When:       s.When,
+		Words:      1,
+		Lines:      1,
+		Tasks:      1,
+		OutputBias: m.CacheOutputBias,
+	}
+	bits := s.MultiBitProbability()
+
+	switch r {
+	case fault.RegisterFile:
+		inj.Scope = ScopeOutputWord
+		if m.ECCRegisterFile {
+			// Only unprotected queues/latches escape: full-word upsets.
+			inj.Flip = m.RFEscapeFlip.Sample(rng)
+		} else {
+			inj.Flip = m.StorageFlip.Sample(rng)
+		}
+	case fault.SharedMemory:
+		inj.Scope = ScopeSharedTile
+		inj.Words = m.lineWords()
+		inj.OutputBias = 0 // staging tiles hold inputs by construction
+		inj.Flip = m.StorageFlip.Sample(rng)
+	case fault.L1Cache:
+		inj.Scope = ScopeCacheLine
+		inj.Words = m.lineWords()
+		inj.Flip = m.StorageFlip.Sample(rng)
+	case fault.L2Cache:
+		inj.Scope = ScopeCacheLine
+		inj.Words = m.lineWords()
+		inj.Lines = m.l2LineSpread(rng)
+		inj.Flip = m.StorageFlip.Sample(rng)
+	case fault.FPU:
+		inj.Scope = m.FPUScope
+		inj.Flip = m.DatapathFlip.Sample(rng)
+	case fault.SFU:
+		// Transcendental-unit strike: corrupt the operand/result of an
+		// exponential-class operation; the kernel's own math amplifies it.
+		inj.Scope = ScopeInputWord
+		inj.Flip = m.DatapathFlip.Sample(rng)
+	case fault.VectorUnit:
+		inj.Scope = ScopeVectorLanes
+		inj.Words = m.VectorWidthBits / 64
+		if inj.Words < 1 {
+			inj.Words = 1
+		}
+		inj.Flip = m.DatapathFlip.Sample(rng)
+	case fault.Scheduler:
+		inj.Scope = ScopeTaskSet
+		inj.Tasks = m.taskSpread(p, rng)
+		inj.Flip = m.StorageFlip.Sample(rng)
+	case fault.Dispatcher, fault.ControlLogic, fault.InstructionPath:
+		inj.Scope = ScopeTaskSet
+		inj.Tasks = 1
+		inj.Flip = m.StorageFlip.Sample(rng)
+	}
+
+	inj.Flip.Bits = bits
+	return inj
+}
+
+// l2LineSpread is the number of distinct cache lines a single L2 upset
+// poisons before the corrupted cell is rewritten: the longer data stays
+// resident (large, coherent caches), the more distinct occupants are read
+// while corrupted.
+func (m *Model) l2LineSpread(rng *xrand.RNG) int {
+	mean := m.L2SharingDegree - 1
+	if mean <= 0 {
+		return 1
+	}
+	n := 1 + rng.Poisson(mean)
+	if n > 10 {
+		n = 10
+	}
+	return n
+}
+
+// taskSpread is how many work units a scheduler strike derails. A hardware
+// scheduler managing hundreds of thousands of threads can mis-dispatch a
+// handful of blocks; an OS scheduler strike that silently survives usually
+// affects one task.
+func (m *Model) taskSpread(p Profile, rng *xrand.RNG) int {
+	if !m.HardwareScheduler {
+		if rng.Bool(0.2) {
+			return 2
+		}
+		return 1
+	}
+	// Geometric-ish spread scaled by block count.
+	max := p.Blocks / 64
+	if max < 2 {
+		max = 2
+	}
+	if max > 12 {
+		max = 12
+	}
+	n := 1
+	for n < max && rng.Bool(0.45) {
+		n++
+	}
+	return n
+}
+
+// ExpectedRates returns the analytically expected per-strike outcome
+// distribution under workload p, weighted by resource cross-sections.
+// Useful for calibration and documentation; the sampled campaigns
+// converge to these values (before kernel-level logical masking, which
+// moves some architectural SDCs into the masked class).
+func (m *Model) ExpectedRates(p Profile) (masked, sdc, crash, hang float64) {
+	weights := m.resourceWeights(p)
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 1, 0, 0, 0
+	}
+	for r, w := range weights {
+		d := m.outcomeDist(fault.Resource(r), p)
+		dt := d.Total()
+		frac := w / total
+		masked += frac * d.Masked / dt
+		sdc += frac * d.SDC / dt
+		crash += frac * d.Crash / dt
+		hang += frac * d.Hang / dt
+	}
+	return
+}
+
+// ResolveStrike maps a beam strike onto its syndrome.
+func (m *Model) ResolveStrike(p Profile, s fault.Strike, rng *xrand.RNG) Syndrome {
+	weights := m.resourceWeights(p)
+	r := fault.Resource(rng.WeightedChoice(weights))
+	outcome := m.outcomeDist(r, p).Sample(rng)
+	syn := Syndrome{Resource: r, Outcome: outcome}
+	if outcome == fault.SDC {
+		syn.Injection = m.buildInjection(r, p, s, rng)
+	}
+	return syn
+}

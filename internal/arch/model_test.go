@@ -1,0 +1,272 @@
+package arch
+
+import (
+	"testing"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/floatbits"
+	"radcrit/internal/grid"
+	"radcrit/internal/xrand"
+)
+
+// testModel returns a small, self-consistent device model.
+func testModel(hw bool) *Model {
+	m := &Model{
+		DeviceName:          "Test Device",
+		Short:               "TD",
+		TechNode:            "test",
+		StorageSensitivity:  1,
+		LogicSensitivity:    1,
+		NumCores:            4,
+		HWThreadsPerCore:    256,
+		RegisterFileKB:      128,
+		SharedMemKBPerCore:  16,
+		L1KBPerCore:         16,
+		L2KBTotal:           512,
+		CacheLineBytes:      64,
+		VectorWidthBits:     0,
+		ECCRegisterFile:     false,
+		HardwareScheduler:   hw,
+		FPUAreaAU:           100,
+		SFUAreaAU:           50,
+		SchedulerAreaAU:     80,
+		DispatchAreaAU:      40,
+		ControlAreaAU:       40,
+		ICacheAreaAU:        20,
+		ControlFloor:        0.05,
+		L2SharingDegree:     2,
+		SchedStrainAt64K:    2,
+		SchedStrainExponent: 1.2,
+		DatapathFlip: FlipDist{
+			Specs:   []fault.FlipSpec{{Field: floatbits.Mantissa, Bits: 1}},
+			Weights: []float64{1},
+		},
+		StorageFlip: FlipDist{
+			Specs:   []fault.FlipSpec{{Field: floatbits.AnyField, Bits: 1}},
+			Weights: []float64{1},
+		},
+		RFEscapeFlip: FlipDist{
+			Specs:   []fault.FlipSpec{{Field: floatbits.AnyField, Bits: 1}},
+			Weights: []float64{1},
+		},
+		FPUScope:        ScopeAccumTerm,
+		CacheOutputBias: 0.5,
+	}
+	return m
+}
+
+func testProfile(threads int) Profile {
+	return Profile{
+		Kernel:           "test",
+		InputLabel:       "t",
+		OutputDims:       grid.Dims{X: 64, Y: 64, Z: 1},
+		Threads:          threads,
+		Blocks:           threads / 64,
+		CacheFootprintKB: 1024,
+		FPUShare:         0.5,
+		ControlShare:     0.05,
+		RelRuntime:       1,
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := testModel(true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testModel(true)
+	bad.NumCores = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad2 := testModel(true)
+	bad2.DatapathFlip = FlipDist{}
+	if bad2.Validate() == nil {
+		t.Fatal("missing flip distributions accepted")
+	}
+}
+
+func TestSensitiveAreaPositiveAndMonotonic(t *testing.T) {
+	m := testModel(true)
+	small := m.SensitiveArea(testProfile(1024))
+	large := m.SensitiveArea(testProfile(1024 * 64))
+	if small <= 0 {
+		t.Fatal("non-positive area")
+	}
+	if large <= small {
+		t.Fatalf("hardware-scheduled area should grow with threads: %v -> %v", small, large)
+	}
+}
+
+func TestOSSchedulerNoStrainGrowth(t *testing.T) {
+	m := testModel(false)
+	m.SchedStrainAt64K = 0
+	small := m.SensitiveArea(testProfile(1024))
+	large := m.SensitiveArea(testProfile(1024 * 64))
+	growth := large / small
+	if growth > 1.05 {
+		t.Fatalf("OS-scheduled area grew %vx with thread count", growth)
+	}
+}
+
+func TestDispatchFactorDampensStrain(t *testing.T) {
+	m := testModel(true)
+	p := testProfile(1 << 20)
+	full := m.schedulerStrain(p)
+	p.DispatchFactor = 0.1
+	damped := m.schedulerStrain(p)
+	if damped >= full {
+		t.Fatalf("dispatch factor did not dampen strain: %v vs %v", damped, full)
+	}
+}
+
+func TestExpectedRatesNormalized(t *testing.T) {
+	m := testModel(true)
+	masked, sdc, crash, hang := m.ExpectedRates(testProfile(4096))
+	sum := masked + sdc + crash + hang
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("rates sum to %v", sum)
+	}
+	if sdc <= 0 || crash <= 0 {
+		t.Fatal("expected non-zero SDC and crash rates")
+	}
+}
+
+func TestResolveStrikeCoversOutcomes(t *testing.T) {
+	m := testModel(true)
+	p := testProfile(4096)
+	rng := xrand.New(1)
+	seen := map[fault.OutcomeClass]int{}
+	for i := 0; i < 3000; i++ {
+		syn := m.ResolveStrike(p, fault.Strike{When: rng.Float64(), Energy: 1}, rng)
+		seen[syn.Outcome]++
+		if syn.Outcome == fault.SDC {
+			inj := syn.Injection
+			if inj.Words < 1 || inj.Lines < 1 || inj.Tasks < 1 {
+				t.Fatalf("degenerate injection: %+v", inj)
+			}
+			if inj.Flip.Bits < 1 {
+				t.Fatal("flip with no bits")
+			}
+		}
+	}
+	for _, class := range []fault.OutcomeClass{fault.Masked, fault.SDC, fault.Crash, fault.Hang} {
+		if seen[class] == 0 {
+			t.Fatalf("outcome class %v never sampled", class)
+		}
+	}
+}
+
+func TestECCRegisterFileMasksMost(t *testing.T) {
+	m := testModel(true)
+	m.ECCRegisterFile = true
+	m.ECCEscapeProb = 0.1
+	d := m.outcomeDist(fault.RegisterFile, testProfile(4096))
+	if d.Masked < 0.85 {
+		t.Fatalf("ECC should mask most RF strikes: masked=%v", d.Masked)
+	}
+}
+
+func TestIterativeLaunchSchedulerMostlyMasked(t *testing.T) {
+	m := testModel(true)
+	p := testProfile(4096)
+	p.IterativeLaunches = true
+	d := m.outcomeDist(fault.Scheduler, p)
+	if d.Masked < 0.6 {
+		t.Fatalf("iterative-launch scheduler strikes should mostly mask: %v", d.Masked)
+	}
+}
+
+func TestStreamingDataCacheMasking(t *testing.T) {
+	m := testModel(true)
+	p := testProfile(4096)
+	base := m.outcomeDist(fault.L2Cache, p)
+	p.StreamingData = true
+	streaming := m.outcomeDist(fault.L2Cache, p)
+	if streaming.Masked <= base.Masked {
+		t.Fatal("streaming data should raise cache masking")
+	}
+}
+
+func TestL2LineSpreadBounds(t *testing.T) {
+	m := testModel(true)
+	m.L2SharingDegree = 5
+	rng := xrand.New(2)
+	for i := 0; i < 1000; i++ {
+		n := m.l2LineSpread(rng)
+		if n < 1 || n > 10 {
+			t.Fatalf("line spread %d out of bounds", n)
+		}
+	}
+	m.L2SharingDegree = 1
+	for i := 0; i < 100; i++ {
+		if m.l2LineSpread(rng) != 1 {
+			t.Fatal("sharing degree 1 should always spread to 1 line")
+		}
+	}
+}
+
+func TestTaskSpread(t *testing.T) {
+	hw := testModel(true)
+	os := testModel(false)
+	rng := xrand.New(3)
+	p := testProfile(1 << 16)
+	for i := 0; i < 200; i++ {
+		if n := hw.taskSpread(p, rng); n < 1 || n > 12 {
+			t.Fatalf("hw task spread %d", n)
+		}
+		if n := os.taskSpread(p, rng); n < 1 || n > 2 {
+			t.Fatalf("os task spread %d", n)
+		}
+	}
+}
+
+func TestFlipDistPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty FlipDist did not panic")
+		}
+	}()
+	FlipDist{}.Sample(xrand.New(1))
+}
+
+func TestScopeStrings(t *testing.T) {
+	for s := ScopeAccumTerm; s <= ScopeTaskSet; s++ {
+		if s.String() == "unknown" || s.String() == "" {
+			t.Fatalf("scope %d has no name", s)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := testProfile(1024)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Kernel = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty kernel accepted")
+	}
+	bad = good
+	bad.Threads = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero threads accepted")
+	}
+	bad = good
+	bad.RelRuntime = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero runtime accepted")
+	}
+}
+
+func TestCacheUtilBounds(t *testing.T) {
+	if cacheUtil(100, 0) != 0 {
+		t.Fatal("zero capacity should give 0")
+	}
+	if cacheUtil(1e6, 100) != 1 {
+		t.Fatal("oversubscribed cache should saturate at 1")
+	}
+	if cacheUtil(1, 1e6) != 0.25 {
+		t.Fatal("floor of 0.25 not applied")
+	}
+}

@@ -1,0 +1,257 @@
+// Package campaign assembles full beam-test campaigns: device x kernel x
+// input-size experiment matrices, strike sampling, outcome aggregation,
+// FIT accounting and the per-figure data series of the paper's evaluation
+// (§V). It is the layer cmd/figures, the benchmarks and the public facade
+// build on.
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/beam"
+	"radcrit/internal/fault"
+	"radcrit/internal/fit"
+	"radcrit/internal/injector"
+	"radcrit/internal/kernels"
+	"radcrit/internal/logdata"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+// Config controls one experiment's statistical weight.
+type Config struct {
+	// Seed is the campaign's reproducibility root.
+	Seed uint64
+	// Strikes is the number of particle strikes to simulate per
+	// (device, kernel, input) cell. The paper gathers enough beam time
+	// for statistically significant counts; several hundred strikes per
+	// cell reproduce the trends.
+	Strikes int
+	// BaseExecSeconds scales a profile's RelRuntime into wall seconds.
+	BaseExecSeconds float64
+	// Facility provides the neutron flux (default LANSCE).
+	Facility beam.Facility
+}
+
+// DefaultConfig returns the standard campaign configuration.
+func DefaultConfig(seed uint64, strikes int) Config {
+	return Config{
+		Seed:            seed,
+		Strikes:         strikes,
+		BaseExecSeconds: 1.0,
+		Facility:        beam.LANSCE,
+	}
+}
+
+// Result is one experiment cell's aggregated outcome.
+type Result struct {
+	Device  string
+	Kernel  string
+	Input   string
+	Profile arch.Profile
+
+	Strikes int
+	Tally   injector.Tally
+	Reports []*metrics.Report // one per SDC execution
+	// ReportResource[i] is the struck resource behind Reports[i],
+	// enabling the selective-hardening analysis the paper proposes as
+	// future work (§VI).
+	ReportResource []fault.Resource
+	// ResourceTally is the per-resource outcome accounting.
+	ResourceTally map[fault.Resource]injector.Tally
+	Exposure      beam.Exposure
+}
+
+// resultCache memoises Run: several figure builders share the same
+// experiment cells, and Run is a pure function of (device, kernel, input,
+// config).
+var resultCache sync.Map
+
+// Run simulates cfg.Strikes strikes of kern on dev. Results are memoised:
+// repeated calls with the same cell and config return the same *Result.
+func Run(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
+	key := fmt.Sprintf("%s/%s/%s/%d/%d/%s", dev.ShortName(), kern.Name(),
+		kern.InputLabel(), cfg.Seed, cfg.Strikes, cfg.Facility.Name)
+	if v, ok := resultCache.Load(key); ok {
+		return v.(*Result)
+	}
+	res := runUncached(dev, kern, cfg)
+	resultCache.Store(key, res)
+	return res
+}
+
+func runUncached(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
+	prof := kern.Profile(dev)
+	if err := prof.Validate(); err != nil {
+		panic(fmt.Sprintf("campaign: %v", err))
+	}
+	rng := xrand.New(cfg.Seed).
+		SplitString(dev.ShortName()).
+		SplitString(kern.Name()).
+		SplitString(kern.InputLabel())
+
+	res := &Result{
+		Device:        dev.ShortName(),
+		Kernel:        kern.Name(),
+		Input:         kern.InputLabel(),
+		Profile:       prof,
+		Strikes:       cfg.Strikes,
+		ResourceTally: make(map[fault.Resource]injector.Tally),
+	}
+
+	for i := 0; i < cfg.Strikes; i++ {
+		sub := rng.Split(uint64(i) + 1)
+		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+		out := injector.RunOne(dev, kern, strike, sub)
+		rt := res.ResourceTally[out.Resource]
+		switch out.Class {
+		case fault.Masked:
+			res.Tally.Masked++
+			rt.Masked++
+		case fault.SDC:
+			res.Tally.SDC++
+			rt.SDC++
+			res.Reports = append(res.Reports, out.Report)
+			res.ReportResource = append(res.ReportResource, out.Resource)
+		case fault.Crash:
+			res.Tally.Crash++
+			rt.Crash++
+		case fault.Hang:
+			res.Tally.Hang++
+			rt.Hang++
+		}
+		res.ResourceTally[out.Resource] = rt
+	}
+
+	// Back-compute the beam exposure this strike count corresponds to,
+	// derated into the single-strike regime as the real campaigns were.
+	execSeconds := prof.RelRuntime * cfg.BaseExecSeconds
+	exp := beam.Exposure{
+		Facility:      cfg.Facility,
+		Board:         beam.Board{Label: dev.ShortName(), Derating: 1},
+		ExecSeconds:   execSeconds,
+		SensitiveArea: dev.SensitiveArea(prof),
+	}
+	exp = exp.TuneSingleStrike()
+	exp.BeamHours = exp.HoursForStrikes(float64(cfg.Strikes))
+	res.Exposure = exp
+	return res
+}
+
+// SDCFIT returns the SDC failure rate in FIT, optionally applying the
+// relative-error filter first (executions whose mismatches are all below
+// the threshold are no longer errors, §III).
+func (r *Result) SDCFIT(thresholdPct float64) float64 {
+	count := 0
+	for _, rep := range r.Reports {
+		if thresholdPct <= 0 || rep.Filter(thresholdPct).IsSDC() {
+			count++
+		}
+	}
+	return fit.FITFromCampaign(count, r.Exposure)
+}
+
+// DUEFIT returns the crash+hang (detectable-unrecoverable) rate in FIT.
+func (r *Result) DUEFIT() float64 {
+	return fit.FITFromCampaign(r.Tally.Crash+r.Tally.Hang, r.Exposure)
+}
+
+// LocalityBreakdown splits the SDC FIT by spatial pattern after applying
+// the relative-error filter (thresholdPct <= 0 keeps all mismatches):
+// the data behind Figures 3, 5 and 7.
+func (r *Result) LocalityBreakdown(thresholdPct float64) fit.Breakdown {
+	counts := make(map[metrics.Pattern]int)
+	for _, rep := range r.Reports {
+		eff := rep
+		if thresholdPct > 0 {
+			eff = rep.Filter(thresholdPct)
+		}
+		if !eff.IsSDC() {
+			continue
+		}
+		counts[eff.Locality()]++
+	}
+	bd := fit.Breakdown{}
+	for _, p := range metrics.Patterns {
+		bd.Labels = append(bd.Labels, p.String())
+		bd.Values = append(bd.Values, fit.FITFromCampaign(counts[p], r.Exposure))
+	}
+	return bd
+}
+
+// ScatterPoint is one SDC execution in a Figure-2/4/6/8 style scatter.
+type ScatterPoint struct {
+	IncorrectElements int
+	MeanRelErrPct     float64
+}
+
+// Scatter extracts the (incorrect elements, mean relative error) points,
+// capping the per-element relative error at capPct as the paper's figures
+// do for readability (capPct <= 0 disables capping).
+func (r *Result) Scatter(capPct float64) []ScatterPoint {
+	cap := capPct
+	if cap <= 0 {
+		cap = 1e308
+	}
+	pts := make([]ScatterPoint, 0, len(r.Reports))
+	for _, rep := range r.Reports {
+		pts = append(pts, ScatterPoint{
+			IncorrectElements: rep.Count(),
+			MeanRelErrPct:     rep.MeanRelErrPct(cap),
+		})
+	}
+	return pts
+}
+
+// FilteredFraction is the fraction of SDC executions fully cleared by the
+// relative-error filter (§V: 50-75% for DGEMM on K40, ~95% for HotSpot).
+func (r *Result) FilteredFraction(thresholdPct float64) float64 {
+	if len(r.Reports) == 0 {
+		return 0
+	}
+	cleared := 0
+	for _, rep := range r.Reports {
+		if !rep.Filter(thresholdPct).IsSDC() {
+			cleared++
+		}
+	}
+	return float64(cleared) / float64(len(r.Reports))
+}
+
+// ToLog converts the result into the public log format.
+func (r *Result) ToLog(seed uint64) *logdata.Log {
+	l := &logdata.Log{
+		Device:     r.Device,
+		Kernel:     r.Kernel,
+		Input:      r.Input,
+		Facility:   r.Exposure.Facility.Name,
+		Seed:       seed,
+		Executions: r.Exposure.Executions(),
+		BeamHours:  r.Exposure.BeamHours,
+		OutputDims: r.Profile.OutputDims,
+	}
+	exec := 0
+	for i, rep := range r.Reports {
+		exec += 13 // arbitrary but deterministic spacing
+		ev := logdata.Event{
+			Class:      fault.SDC,
+			Exec:       exec,
+			Mismatches: rep.Mismatches,
+		}
+		if i < len(r.ReportResource) {
+			ev.Resource = r.ReportResource[i].String()
+		}
+		l.Events = append(l.Events, ev)
+	}
+	for i := 0; i < r.Tally.Crash; i++ {
+		exec += 7
+		l.Events = append(l.Events, logdata.Event{Class: fault.Crash, Exec: exec})
+	}
+	for i := 0; i < r.Tally.Hang; i++ {
+		exec += 11
+		l.Events = append(l.Events, logdata.Event{Class: fault.Hang, Exec: exec})
+	}
+	return l
+}

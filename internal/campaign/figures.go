@@ -1,0 +1,332 @@
+package campaign
+
+import (
+	"radcrit/internal/abft"
+	"radcrit/internal/arch"
+	"radcrit/internal/beam"
+	"radcrit/internal/detect"
+	"radcrit/internal/fault"
+	"radcrit/internal/fit"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/lavamd"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+// ScatterSeries is the data behind one subfigure of Figures 2, 4, 6, 8:
+// one (incorrect elements, mean relative error) point per SDC, grouped by
+// input size.
+type ScatterSeries struct {
+	Device string
+	Kernel string
+	// CapPct is the relative-error display cap applied (100% for DGEMM,
+	// 20,000% for LavaMD, per the paper's figure notes).
+	CapPct float64
+	Series []LabeledPoints
+}
+
+// LabeledPoints is one input size's point cloud.
+type LabeledPoints struct {
+	Label  string
+	Points []ScatterPoint
+}
+
+// BuildDGEMMScatter produces Fig. 2a/2b for a device.
+func BuildDGEMMScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
+	out := ScatterSeries{Device: dev.ShortName(), Kernel: "DGEMM", CapPct: 100}
+	for _, n := range DGEMMSizes(s, dev) {
+		res := Run(dev, dgemm.New(n), cfg)
+		out.Series = append(out.Series, LabeledPoints{
+			Label:  res.Input,
+			Points: res.Scatter(out.CapPct),
+		})
+	}
+	return out
+}
+
+// BuildLavaMDScatter produces Fig. 4a/4b for a device.
+func BuildLavaMDScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
+	out := ScatterSeries{Device: dev.ShortName(), Kernel: "LavaMD", CapPct: 20000}
+	for _, g := range LavaMDSizes(s, dev) {
+		res := Run(dev, lavamd.New(g), cfg)
+		out.Series = append(out.Series, LabeledPoints{
+			Label:  res.Input,
+			Points: res.Scatter(out.CapPct),
+		})
+	}
+	return out
+}
+
+// BuildHotSpotScatter produces Fig. 6a/6b for a device.
+func BuildHotSpotScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
+	res := Run(dev, HotSpotKernel(s), cfg)
+	return ScatterSeries{
+		Device: dev.ShortName(),
+		Kernel: "HotSpot",
+		CapPct: 0,
+		Series: []LabeledPoints{{Label: res.Input, Points: res.Scatter(0)}},
+	}
+}
+
+// BuildCLAMRScatter produces Fig. 8 (Xeon Phi only in the paper).
+func BuildCLAMRScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
+	res := Run(dev, CLAMRKernel(s), cfg)
+	return ScatterSeries{
+		Device: dev.ShortName(),
+		Kernel: "CLAMR",
+		CapPct: 0,
+		Series: []LabeledPoints{{Label: res.Input, Points: res.Scatter(0)}},
+	}
+}
+
+// LocalityBar is one input size's FIT breakdown pair in Figures 3, 5, 7.
+type LocalityBar struct {
+	Input string
+	// All is the unfiltered breakdown, Filtered the >threshold one.
+	All      fit.Breakdown
+	Filtered fit.Breakdown
+	// FilterMeaningful is false when no mismatch fell below the filter
+	// (the paper then shows only the All bar, e.g. DGEMM on the Phi).
+	FilterMeaningful bool
+}
+
+// LocalityFigure is one subfigure of Figures 3, 5, 7.
+type LocalityFigure struct {
+	Device       string
+	Kernel       string
+	ThresholdPct float64
+	Bars         []LocalityBar
+}
+
+// BuildDGEMMLocality produces Fig. 3a/3b.
+func BuildDGEMMLocality(dev arch.Device, s Scale, cfg Config, thresholdPct float64) LocalityFigure {
+	out := LocalityFigure{Device: dev.ShortName(), Kernel: "DGEMM", ThresholdPct: thresholdPct}
+	for _, n := range DGEMMSizes(s, dev) {
+		res := Run(dev, dgemm.New(n), cfg)
+		out.Bars = append(out.Bars, localityBar(res, thresholdPct))
+	}
+	return out
+}
+
+// BuildLavaMDLocality produces Fig. 5a/5b.
+func BuildLavaMDLocality(dev arch.Device, s Scale, cfg Config, thresholdPct float64) LocalityFigure {
+	out := LocalityFigure{Device: dev.ShortName(), Kernel: "LavaMD", ThresholdPct: thresholdPct}
+	for _, g := range LavaMDSizes(s, dev) {
+		res := Run(dev, lavamd.New(g), cfg)
+		out.Bars = append(out.Bars, localityBar(res, thresholdPct))
+	}
+	return out
+}
+
+// BuildHotSpotLocality produces Fig. 7a/7b.
+func BuildHotSpotLocality(dev arch.Device, s Scale, cfg Config, thresholdPct float64) LocalityFigure {
+	res := Run(dev, HotSpotKernel(s), cfg)
+	return LocalityFigure{
+		Device:       dev.ShortName(),
+		Kernel:       "HotSpot",
+		ThresholdPct: thresholdPct,
+		Bars:         []LocalityBar{localityBar(res, thresholdPct)},
+	}
+}
+
+func localityBar(res *Result, thresholdPct float64) LocalityBar {
+	return LocalityBar{
+		Input:            res.Input,
+		All:              res.LocalityBreakdown(0),
+		Filtered:         res.LocalityBreakdown(thresholdPct),
+		FilterMeaningful: res.FilteredFraction(thresholdPct) > 0,
+	}
+}
+
+// RatioRow is one (device, kernel, input) SDC:DUE ratio (§V preamble).
+type RatioRow struct {
+	Device string
+	Kernel string
+	Input  string
+	SDC    int
+	DUE    int
+	Ratio  float64
+}
+
+// BuildSDCRatios produces the §V preamble statistics for every kernel and
+// input size on both devices.
+func BuildSDCRatios(s Scale, cfg Config) []RatioRow {
+	var rows []RatioRow
+	for _, dev := range Devices() {
+		for _, n := range DGEMMSizes(s, dev) {
+			rows = append(rows, ratioRow(Run(dev, dgemm.New(n), cfg)))
+		}
+		for _, g := range LavaMDSizes(s, dev) {
+			rows = append(rows, ratioRow(Run(dev, lavamd.New(g), cfg)))
+		}
+		rows = append(rows, ratioRow(Run(dev, HotSpotKernel(s), cfg)))
+		rows = append(rows, ratioRow(Run(dev, CLAMRKernel(s), cfg)))
+	}
+	return rows
+}
+
+func ratioRow(res *Result) RatioRow {
+	return RatioRow{
+		Device: res.Device,
+		Kernel: res.Kernel,
+		Input:  res.Input,
+		SDC:    res.Tally.SDC,
+		DUE:    res.Tally.Crash + res.Tally.Hang,
+		Ratio:  res.Tally.SDCToDUERatio(),
+	}
+}
+
+// ScalingRow captures FIT growth with input size (§V-A: K40 DGEMM FIT
+// grows ~7x (All) / ~5x (>2%) across the sweep; Phi only ~1.8x).
+type ScalingRow struct {
+	Device       string
+	Input        string
+	FITAll       float64
+	FITFiltered  float64
+	GrowthAll    float64 // relative to the smallest input
+	GrowthFilter float64
+}
+
+// BuildDGEMMScaling produces the input-size FIT scaling series.
+func BuildDGEMMScaling(dev arch.Device, s Scale, cfg Config, thresholdPct float64) []ScalingRow {
+	var rows []ScalingRow
+	var baseAll, baseF float64
+	for i, n := range DGEMMSizes(s, dev) {
+		res := Run(dev, dgemm.New(n), cfg)
+		all := res.SDCFIT(0)
+		fl := res.SDCFIT(thresholdPct)
+		if i == 0 {
+			baseAll, baseF = all, fl
+		}
+		row := ScalingRow{Device: res.Device, Input: res.Input, FITAll: all, FITFiltered: fl}
+		if baseAll > 0 {
+			row.GrowthAll = all / baseAll
+		}
+		if baseF > 0 {
+			row.GrowthFilter = fl / baseF
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ABFTRow is one device's ABFT-correctable share of DGEMM errors (§V-A).
+type ABFTRow struct {
+	Device string
+	Input  string
+	// CorrectableFraction is the share of SDCs with single/line locality.
+	CorrectableFraction float64
+	// ResidualFraction is the square+random share ABFT cannot repair.
+	ResidualFraction float64
+}
+
+// BuildABFTCoverage evaluates the ABFT-correctable share of DGEMM SDCs per
+// input size (§V-A: "applying ABFT, DGEMM would be affected by only 20% to
+// 40% of all errors on K40, and 60% to 80% on Xeon Phi").
+func BuildABFTCoverage(dev arch.Device, s Scale, cfg Config) []ABFTRow {
+	var rows []ABFTRow
+	for _, n := range DGEMMSizes(s, dev) {
+		res := Run(dev, dgemm.New(n), cfg)
+		cov := abft.EvaluateCoverage(res.Reports)
+		frac := cov.CorrectableFraction()
+		rows = append(rows, ABFTRow{
+			Device:              res.Device,
+			Input:               res.Input,
+			CorrectableFraction: frac,
+			ResidualFraction:    1 - frac,
+		})
+	}
+	return rows
+}
+
+// MassCheckRow is the CLAMR detector-coverage statistic (§V-D: 82%).
+type MassCheckRow struct {
+	Device       string
+	CriticalSDCs int
+	Detected     int
+	Coverage     float64
+}
+
+// BuildMassCheckCoverage runs CLAMR strikes and evaluates the mass check
+// against critical (above-threshold) SDCs.
+func BuildMassCheckCoverage(dev arch.Device, s Scale, cfg Config, thresholdPct float64) MassCheckRow {
+	k := CLAMRKernel(s)
+	prof := k.Profile(dev)
+	rng := xrand.New(cfg.Seed).SplitString(dev.ShortName()).SplitString("masscheck")
+	var stats detect.CoverageStats
+	for i := 0; i < cfg.Strikes; i++ {
+		sub := rng.Split(uint64(i) + 1)
+		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+		syn := dev.ResolveStrike(prof, strike, sub)
+		if syn.Outcome != fault.SDC {
+			continue
+		}
+		rep, det := k.RunInjectedDetailed(dev, syn.Injection, sub)
+		if !rep.Filter(thresholdPct).IsSDC() {
+			continue
+		}
+		stats.Add(det.MassCheckFired)
+	}
+	return MassCheckRow{
+		Device:       dev.ShortName(),
+		CriticalSDCs: stats.Evaluated,
+		Detected:     stats.Detected,
+		Coverage:     stats.Coverage(),
+	}
+}
+
+// LocalityMap is Fig. 9: the 2D positions of one CLAMR SDC's incorrect
+// elements.
+type LocalityMap struct {
+	Width, Height int
+	Marked        [][]bool
+	Count         int
+}
+
+// BuildCLAMRLocalityMap runs CLAMR strikes until an SDC with a sizeable
+// error wave appears and maps it (Fig. 9).
+func BuildCLAMRLocalityMap(dev arch.Device, s Scale, cfg Config) LocalityMap {
+	k := CLAMRKernel(s)
+	var best *metrics.Report
+	// The paper's Fig. 9 shows a mid-flight error wave: prefer the SDC
+	// whose corrupted area is closest to a third of the output — larger
+	// ones have already flooded the whole domain, smaller ones have not
+	// yet developed the wave shape.
+	target := k.Side() * k.Side() / 3
+	score := func(rep *metrics.Report) int {
+		d := rep.Count() - target
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	rng := xrand.New(cfg.Seed).SplitString(dev.ShortName()).SplitString("fig9")
+	for i := 0; i < cfg.Strikes; i++ {
+		sub := rng.Split(uint64(i) + 1)
+		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+		prof := k.Profile(dev)
+		syn := dev.ResolveStrike(prof, strike, sub)
+		if syn.Outcome != fault.SDC {
+			continue
+		}
+		rep := k.RunInjected(dev, syn.Injection, sub)
+		if rep.Count() == 0 {
+			continue
+		}
+		if best == nil || score(rep) < score(best) {
+			best = rep
+		}
+	}
+	m := LocalityMap{Width: k.Side(), Height: k.Side()}
+	m.Marked = make([][]bool, m.Height)
+	for i := range m.Marked {
+		m.Marked[i] = make([]bool, m.Width)
+	}
+	if best != nil {
+		for _, mm := range best.Mismatches {
+			m.Marked[mm.Coord.Y][mm.Coord.X] = true
+		}
+		m.Count = best.Count()
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+// Package detect provides the application-level error detectors discussed
+// in §V-C and §V-D of the paper: the CLAMR mass-conservation check (82%
+// fault coverage in [4]), an entropy monitor for stencil codes, and a
+// neighbour-disparity scan.
+package detect
+
+import (
+	"math"
+
+	"radcrit/internal/grid"
+)
+
+// Result is one detector's verdict on one execution.
+type Result struct {
+	// Name of the detector.
+	Name string
+	// Fired reports whether the detector flagged the run.
+	Fired bool
+	// Signal is the detector's raw evidence (drift, entropy delta, ...).
+	Signal float64
+	// Threshold is the firing threshold the signal was compared against.
+	Threshold float64
+}
+
+// MassCheck evaluates a conservation-invariant drift: it fires when the
+// observed relative drift exceeds the threshold. CLAMR ships exactly this
+// check; the paper reports 82% fault coverage for it.
+func MassCheck(maxDriftRel, thresholdRel float64) Result {
+	return Result{
+		Name:      "mass-conservation",
+		Fired:     maxDriftRel > thresholdRel,
+		Signal:    maxDriftRel,
+		Threshold: thresholdRel,
+	}
+}
+
+// EntropyCheck compares the spatial entropy of an output against the
+// golden run's: widespread stencil corruption shifts the value
+// distribution even when each individual error is small (§V-C). entropy
+// functions are supplied by the kernel (e.g. hotspot.Entropy).
+func EntropyCheck(goldenEntropy, observedEntropy, threshold float64) Result {
+	return Result{
+		Name:      "entropy",
+		Fired:     math.Abs(observedEntropy-goldenEntropy) > threshold,
+		Signal:    math.Abs(observedEntropy - goldenEntropy),
+		Threshold: threshold,
+	}
+}
+
+// NeighborDisparity scans a 2D field for cells that deviate from their
+// neighbourhood average by more than threshold (relative). It returns the
+// flagged cell count; stencil-smoothed corruption evades it easily, which
+// is why the paper calls plain neighbour checks "difficult" for HotSpot.
+func NeighborDisparity(g *grid.Grid, threshold float64) int {
+	d := g.Dims()
+	if d.Z != 1 {
+		panic("detect: NeighborDisparity requires a 2D grid")
+	}
+	flagged := 0
+	for y := 0; y < d.Y; y++ {
+		for x := 0; x < d.X; x++ {
+			var sum float64
+			var n int
+			for _, off := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+off[0], y+off[1]
+				if nx < 0 || nx >= d.X || ny < 0 || ny >= d.Y {
+					continue
+				}
+				sum += g.At2(nx, ny)
+				n++
+			}
+			avg := sum / float64(n)
+			if avg == 0 {
+				continue
+			}
+			if math.Abs(g.At2(x, y)-avg) > threshold*math.Abs(avg) {
+				flagged++
+			}
+		}
+	}
+	return flagged
+}
+
+// CoverageStats accumulates detector verdicts over a campaign.
+type CoverageStats struct {
+	Evaluated int
+	Detected  int
+}
+
+// Add records one verdict.
+func (c *CoverageStats) Add(fired bool) {
+	c.Evaluated++
+	if fired {
+		c.Detected++
+	}
+}
+
+// Coverage returns the detected fraction (the paper's "fault coverage").
+func (c CoverageStats) Coverage() float64 {
+	if c.Evaluated == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Evaluated)
+}

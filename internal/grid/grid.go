@@ -1,0 +1,170 @@
+// Package grid provides dense 1-, 2- and 3-dimensional float64 arrays with
+// the index arithmetic used by every kernel output in the suite. HPC output
+// data "is common ... to be structured as two or three-dimensional arrays"
+// (paper §III); the spatial-locality metric needs coordinates, so outputs
+// carry their shape rather than being flat slices.
+package grid
+
+import "fmt"
+
+// Dims describes the shape of an output array. A scalar axis is 1, so a
+// 2D matrix is {X, Y, 1} and a 1D vector {X, 1, 1}.
+type Dims struct {
+	X, Y, Z int
+}
+
+// Rank returns the number of axes larger than one (1, 2 or 3), with a
+// minimum of 1 so a 1x1x1 grid is rank 1.
+func (d Dims) Rank() int {
+	r := 0
+	if d.X > 1 {
+		r++
+	}
+	if d.Y > 1 {
+		r++
+	}
+	if d.Z > 1 {
+		r++
+	}
+	if r == 0 {
+		return 1
+	}
+	return r
+}
+
+// Len returns the number of elements.
+func (d Dims) Len() int { return d.X * d.Y * d.Z }
+
+// Valid reports whether all axes are positive.
+func (d Dims) Valid() bool { return d.X > 0 && d.Y > 0 && d.Z > 0 }
+
+// String formats dims as "XxYxZ" omitting trailing unit axes.
+func (d Dims) String() string {
+	switch {
+	case d.Z > 1:
+		return fmt.Sprintf("%dx%dx%d", d.X, d.Y, d.Z)
+	case d.Y > 1:
+		return fmt.Sprintf("%dx%d", d.X, d.Y)
+	default:
+		return fmt.Sprintf("%d", d.X)
+	}
+}
+
+// Coord is an element position within a grid.
+type Coord struct {
+	X, Y, Z int
+}
+
+// Grid is a dense row-major float64 array with explicit shape.
+type Grid struct {
+	dims Dims
+	data []float64
+}
+
+// New allocates a zeroed grid of the given shape. It panics on invalid dims.
+func New(d Dims) *Grid {
+	if !d.Valid() {
+		panic(fmt.Sprintf("grid: invalid dims %+v", d))
+	}
+	return &Grid{dims: d, data: make([]float64, d.Len())}
+}
+
+// New1D allocates an x-element vector.
+func New1D(x int) *Grid { return New(Dims{X: x, Y: 1, Z: 1}) }
+
+// New2D allocates an x-by-y matrix.
+func New2D(x, y int) *Grid { return New(Dims{X: x, Y: y, Z: 1}) }
+
+// New3D allocates an x-by-y-by-z volume.
+func New3D(x, y, z int) *Grid { return New(Dims{X: x, Y: y, Z: z}) }
+
+// FromSlice wraps data (not copied) in a grid of the given shape.
+// It panics if the lengths disagree.
+func FromSlice(d Dims, data []float64) *Grid {
+	if !d.Valid() || d.Len() != len(data) {
+		panic(fmt.Sprintf("grid: FromSlice shape %v does not match %d elements", d, len(data)))
+	}
+	return &Grid{dims: d, data: data}
+}
+
+// Dims returns the shape.
+func (g *Grid) Dims() Dims { return g.dims }
+
+// Len returns the number of elements.
+func (g *Grid) Len() int { return len(g.data) }
+
+// Data returns the backing slice (row-major; x fastest).
+func (g *Grid) Data() []float64 { return g.data }
+
+// Index converts a coordinate to a flat offset.
+func (g *Grid) Index(c Coord) int {
+	return (c.Z*g.dims.Y+c.Y)*g.dims.X + c.X
+}
+
+// CoordOf converts a flat offset to a coordinate.
+func (g *Grid) CoordOf(i int) Coord {
+	x := i % g.dims.X
+	rest := i / g.dims.X
+	y := rest % g.dims.Y
+	z := rest / g.dims.Y
+	return Coord{X: x, Y: y, Z: z}
+}
+
+// At returns the element at c.
+func (g *Grid) At(c Coord) float64 { return g.data[g.Index(c)] }
+
+// Set stores v at c.
+func (g *Grid) Set(c Coord, v float64) { g.data[g.Index(c)] = v }
+
+// At2 returns the element at (x, y) of a 2D grid.
+func (g *Grid) At2(x, y int) float64 { return g.data[y*g.dims.X+x] }
+
+// Set2 stores v at (x, y) of a 2D grid.
+func (g *Grid) Set2(x, y int, v float64) { g.data[y*g.dims.X+x] = v }
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	out := New(g.dims)
+	copy(out.data, g.data)
+	return out
+}
+
+// Fill sets every element to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.data {
+		g.data[i] = v
+	}
+}
+
+// Sum returns the sum over all elements.
+func (g *Grid) Sum() float64 {
+	var s float64
+	for _, v := range g.data {
+		s += v
+	}
+	return s
+}
+
+// Equal reports whether two grids have identical shape and bit-identical
+// contents.
+func (g *Grid) Equal(other *Grid) bool {
+	if g.dims != other.dims {
+		return false
+	}
+	for i, v := range g.data {
+		if v != other.data[i] {
+			// NaN != NaN: treat NaN-vs-NaN as equal bits would require
+			// bit comparison; for outputs NaN is always a corruption,
+			// so plain inequality is the intended semantics.
+			return false
+		}
+	}
+	return true
+}
+
+// InBounds reports whether c is a valid coordinate.
+func (g *Grid) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < g.dims.X &&
+		c.Y >= 0 && c.Y < g.dims.Y &&
+		c.Z >= 0 && c.Z < g.dims.Z
+}

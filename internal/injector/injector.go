@@ -1,0 +1,96 @@
+// Package injector turns a raw beam strike into one classified irradiated
+// execution: it resolves the strike against the device architecture,
+// applies the resulting injection to the real kernel, and classifies the
+// outcome (Masked / SDC / Crash / Hang, §II-A).
+//
+// Logical masking is emergent: a syndrome that the architecture resolves
+// to an SDC can still produce a bit-identical output (a flipped bit below
+// one ulp of an accumulation, an already-consumed cache line) and is then
+// reclassified as Masked, exactly as a beam experiment would observe it.
+package injector
+
+import (
+	"radcrit/internal/arch"
+	"radcrit/internal/fault"
+	"radcrit/internal/kernels"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+// Outcome is the classified result of one irradiated execution.
+type Outcome struct {
+	// Class is the observable outcome (§II-A).
+	Class fault.OutcomeClass
+	// Resource is the struck structure.
+	Resource fault.Resource
+	// Scope is the injection semantics (meaningful for SDC syndromes).
+	Scope arch.Scope
+	// Report holds the output mismatches; non-nil only for Class == SDC.
+	Report *metrics.Report
+}
+
+// RunOne executes one strike against kern on dev and classifies it.
+func RunOne(dev arch.Device, kern kernels.Kernel, strike fault.Strike, rng *xrand.RNG) Outcome {
+	prof := kern.Profile(dev)
+	syn := dev.ResolveStrike(prof, strike, rng)
+	out := Outcome{Class: syn.Outcome, Resource: syn.Resource, Scope: syn.Injection.Scope}
+	if syn.Outcome != fault.SDC {
+		return out
+	}
+	rep := kern.RunInjected(dev, syn.Injection, rng)
+	if rep.Count() == 0 {
+		// Logically masked: the corrupted state never reached the output.
+		out.Class = fault.Masked
+		return out
+	}
+	out.Report = rep
+	return out
+}
+
+// RunMany executes n strikes with independent sub-streams of rng, at
+// uniformly random execution moments. It returns the outcomes in order.
+func RunMany(dev arch.Device, kern kernels.Kernel, n int, rng *xrand.RNG) []Outcome {
+	outs := make([]Outcome, n)
+	for i := range outs {
+		sub := rng.Split(uint64(i) + 1)
+		strike := fault.Strike{When: sub.Float64(), Energy: 1 + sub.ExpFloat64()*0.5}
+		outs[i] = RunOne(dev, kern, strike, sub)
+	}
+	return outs
+}
+
+// Tally summarises outcome classes.
+type Tally struct {
+	Masked, SDC, Crash, Hang int
+}
+
+// Count returns the total number of outcomes tallied.
+func (t Tally) Count() int { return t.Masked + t.SDC + t.Crash + t.Hang }
+
+// SDCToDUERatio returns SDCs per crash-or-hang (the paper's §V preamble
+// statistic). It returns 0 when no crashes or hangs were observed.
+func (t Tally) SDCToDUERatio() float64 {
+	due := t.Crash + t.Hang
+	if due == 0 {
+		return 0
+	}
+	return float64(t.SDC) / float64(due)
+}
+
+// TallyOutcomes counts outcome classes.
+func TallyOutcomes(outs []Outcome) Tally {
+	var t Tally
+	for _, o := range outs {
+		switch o.Class {
+		case fault.Masked:
+			t.Masked++
+		case fault.SDC:
+			t.SDC++
+		case fault.Crash:
+			t.Crash++
+		case fault.Hang:
+			t.Hang++
+		}
+	}
+	return t
+}

@@ -1,0 +1,98 @@
+package injector
+
+import (
+	"testing"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/phi"
+	"radcrit/internal/xrand"
+)
+
+func TestRunOneClassifies(t *testing.T) {
+	dev := k40.New()
+	kern := dgemm.New(128)
+	rng := xrand.New(1)
+	seen := map[fault.OutcomeClass]int{}
+	for i := 0; i < 400; i++ {
+		sub := rng.Split(uint64(i))
+		out := RunOne(dev, kern, fault.Strike{When: sub.Float64(), Energy: 1}, sub)
+		seen[out.Class]++
+		if out.Class == fault.SDC {
+			if out.Report == nil || out.Report.Count() == 0 {
+				t.Fatal("SDC outcome without mismatches")
+			}
+		} else if out.Report != nil {
+			t.Fatal("non-SDC outcome carries a report")
+		}
+	}
+	if seen[fault.SDC] == 0 || seen[fault.Masked] == 0 {
+		t.Fatalf("outcome mix degenerate: %v", seen)
+	}
+}
+
+func TestLogicalMaskingReclassifies(t *testing.T) {
+	// Over enough strikes, some architecturally-SDC syndromes must be
+	// logically masked by the kernel (sub-ulp deltas, consumed lines),
+	// so Masked count exceeds the architectural masking alone.
+	dev := k40.New()
+	kern := dgemm.New(128)
+	prof := kern.Profile(dev)
+	rng := xrand.New(7)
+	architectural := 0
+	observed := 0
+	const n = 600
+	for i := 0; i < n; i++ {
+		sub := rng.Split(uint64(i))
+		strike := fault.Strike{When: sub.Float64(), Energy: 1}
+		// Architectural classification with an identical RNG stream.
+		archRng := rng.Split(uint64(i))
+		syn := dev.ResolveStrike(prof, strike, archRng)
+		if syn.Outcome == fault.SDC {
+			architectural++
+			out := RunOne(dev, kern, strike, sub)
+			if out.Class == fault.SDC {
+				observed++
+			}
+		}
+	}
+	if architectural == 0 {
+		t.Fatal("no architectural SDCs sampled")
+	}
+	if observed >= architectural {
+		t.Fatalf("no logical masking observed: %d of %d survived", observed, architectural)
+	}
+}
+
+func TestRunManyDeterministic(t *testing.T) {
+	dev := phi.New()
+	kern := dgemm.New(128)
+	a := RunMany(dev, kern, 50, xrand.New(3))
+	b := RunMany(dev, kern, 50, xrand.New(3))
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Resource != b[i].Resource {
+			t.Fatalf("run %d diverged between identical campaigns", i)
+		}
+	}
+}
+
+func TestTally(t *testing.T) {
+	outs := []Outcome{
+		{Class: fault.Masked}, {Class: fault.SDC}, {Class: fault.SDC},
+		{Class: fault.Crash}, {Class: fault.Hang},
+	}
+	tl := TallyOutcomes(outs)
+	if tl.Masked != 1 || tl.SDC != 2 || tl.Crash != 1 || tl.Hang != 1 {
+		t.Fatalf("tally wrong: %+v", tl)
+	}
+	if tl.Count() != 5 {
+		t.Fatal("count wrong")
+	}
+	if tl.SDCToDUERatio() != 1 {
+		t.Fatalf("ratio = %v", tl.SDCToDUERatio())
+	}
+	if (Tally{SDC: 5}).SDCToDUERatio() != 0 {
+		t.Fatal("zero DUE should return 0")
+	}
+}

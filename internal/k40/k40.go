@@ -1,0 +1,98 @@
+// Package k40 provides the behavioural model of the NVIDIA Tesla K40
+// (GK110b, Kepler) used in the paper's beam campaigns.
+//
+// Parameter provenance (paper §IV-A and the GK110 whitepaper):
+//
+//   - 28 nm TSMC planar bulk technology — baseline (1.0) per-bit neutron
+//     sensitivity; planar cells are ~10x more sensitive than Tri-Gate [28].
+//   - 15 streaming multiprocessors, up to 2048 resident threads each.
+//   - 30 Mbit (3.75 MB) total register file, ECC protected. ECC removes
+//     almost all RF upsets, but "data may still sit in internal queues or
+//     flip-flops that are not protected" (§V-A), modelled as a small
+//     escape probability with full-word flips.
+//   - 64 KB configurable L1/shared memory per SM (modelled as 16 KB L1 +
+//     48 KB shared), 1536 KB unified L2, 128-byte lines.
+//   - Hardware warp scheduler whose state grows with the number of
+//     instantiated threads ("scheduler strain", §V-A (1)); already shown
+//     to contribute to GPU radiation sensitivity [34].
+//   - Dedicated special-function unit (SFU) for transcendentals, which the
+//     paper hypothesises is the source of LavaMD's enormous relative
+//     errors on the K40 (§V-E).
+//
+// Datapath strikes use a mantissa-biased flip distribution: the GPU's
+// short pipelines stage results briefly, and the paper observes that K40
+// arithmetic errors are mostly small (75% of DGEMM SDCs below 10% mean
+// relative error, §V-A). Storage strikes flip uniform bits, as SRAM cells
+// are position-agnostic.
+package k40
+
+import (
+	"radcrit/internal/arch"
+	"radcrit/internal/fault"
+	"radcrit/internal/floatbits"
+)
+
+// New returns the K40 device model.
+func New() *arch.Model {
+	return &arch.Model{
+		DeviceName: "NVIDIA Tesla K40 (GK110b)",
+		Short:      "K40",
+		TechNode:   "28nm planar bulk (TSMC)",
+
+		StorageSensitivity: 1.0,
+		LogicSensitivity:   1.0,
+
+		NumCores:           15,
+		HWThreadsPerCore:   2048,
+		RegisterFileKB:     3840, // 30 Mbit
+		SharedMemKBPerCore: 48,
+		L1KBPerCore:        16,
+		L2KBTotal:          1536,
+		CacheLineBytes:     128,
+		VectorWidthBits:    0,
+
+		ECCRegisterFile:   true,
+		ECCSharedMemory:   true,
+		ECCEscapeProb:     0.10,
+		HardwareScheduler: true,
+
+		FPUAreaAU:       420,
+		SFUAreaAU:       500,
+		VectorAreaAU:    0,
+		SchedulerAreaAU: 260,
+		DispatchAreaAU:  120,
+		ControlAreaAU:   150,
+		ICacheAreaAU:    90,
+
+		ControlFloor:           0.05,
+		L2SharingDegree:        1.6,
+		SchedStrainAt64K:       3.0,
+		SchedStrainExponent:    1.4,
+		RFResidencyPerKWaiting: 0.003,
+		CacheOutputBias:        0.25,
+
+		DatapathFlip: arch.FlipDist{
+			Specs: []fault.FlipSpec{
+				{Field: floatbits.LowMantissa, Bits: 1},
+				{Field: floatbits.Mantissa, Bits: 1},
+				{Field: floatbits.AnyField, Bits: 1},
+			},
+			Weights: []float64{0.45, 0.35, 0.20},
+		},
+		StorageFlip: arch.FlipDist{
+			Specs: []fault.FlipSpec{
+				{Field: floatbits.AnyField, Bits: 1},
+				{Field: floatbits.AnyField, Bits: 2},
+			},
+			Weights: []float64{0.9, 0.1},
+		},
+		RFEscapeFlip: arch.FlipDist{
+			Specs: []fault.FlipSpec{
+				{Field: floatbits.AnyField, Bits: 1},
+			},
+			Weights: []float64{1},
+		},
+
+		FPUScope: arch.ScopeAccumTerm,
+	}
+}

@@ -1,0 +1,130 @@
+// Calibration tests: these pin the K40 model to the paper's §V shape
+// targets at the analytic (expectation) level. The tolerances are bands,
+// not exact values — the goal is that who-wins and how-fast-it-grows match
+// the beam measurements.
+package k40
+
+import (
+	"testing"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/lavamd"
+)
+
+func TestValidModel(t *testing.T) {
+	m := New()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ShortName() != "K40" {
+		t.Fatal("short name")
+	}
+	if !m.HardwareScheduler {
+		t.Fatal("K40 uses a hardware scheduler")
+	}
+	if !m.ECCRegisterFile {
+		t.Fatal("K40 register file is ECC protected")
+	}
+	if m.SFUAreaAU <= 0 {
+		t.Fatal("K40 has a transcendental SFU")
+	}
+	if m.VectorWidthBits != 0 {
+		t.Fatal("K40 has no 512-bit vector unit in this model")
+	}
+}
+
+func TestInventoryMatchesPaper(t *testing.T) {
+	m := New()
+	if m.NumCores != 15 || m.HWThreadsPerCore != 2048 {
+		t.Fatal("SM inventory wrong (15 SMs x 2048 threads, §IV-A)")
+	}
+	if m.RegisterFileKB != 3840 {
+		t.Fatal("register file should be 30 Mbit = 3840 KB")
+	}
+	if m.L2KBTotal != 1536 {
+		t.Fatal("L2 should be 1536 KB")
+	}
+	if m.SharedMemKBPerCore+m.L1KBPerCore != 64 {
+		t.Fatal("L1+shared should total 64 KB per SM")
+	}
+}
+
+// §V-A: from the smallest to the largest DGEMM input the K40's SDC FIT
+// grows ~7x and the SDC:DUE ratio falls from ~4 toward ~1.1.
+func TestDGEMMScalingShape(t *testing.T) {
+	dev := New()
+	sizes := []int{1024, 2048, 4096}
+	var fits, ratios []float64
+	for _, n := range sizes {
+		p := dgemm.New(n).Profile(dev)
+		_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+		fits = append(fits, sdc*dev.SensitiveArea(p))
+		ratios = append(ratios, sdc/(crash+hang))
+	}
+	growth := fits[2] / fits[0]
+	if growth < 5 || growth > 11 {
+		t.Fatalf("DGEMM FIT growth %.2fx outside the paper's ~7x band", growth)
+	}
+	if ratios[0] < 3 || ratios[0] > 5.5 {
+		t.Fatalf("DGEMM small-input SDC:DUE %.2f outside the ~4 band", ratios[0])
+	}
+	if ratios[2] > 1.6 {
+		t.Fatalf("DGEMM large-input SDC:DUE %.2f should approach ~1.1", ratios[2])
+	}
+	if ratios[2] >= ratios[0] {
+		t.Fatal("ratio must fall as input grows (scheduler strain)")
+	}
+}
+
+// §V-B: LavaMD's local-memory cap keeps FIT growth well below DGEMM's.
+func TestLavaMDScalingShape(t *testing.T) {
+	dev := New()
+	var fits, ratios []float64
+	for _, g := range []int{13, 23} {
+		p := lavamd.New(g).Profile(dev)
+		_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+		fits = append(fits, sdc*dev.SensitiveArea(p))
+		ratios = append(ratios, sdc/(crash+hang))
+	}
+	growth := fits[1] / fits[0]
+	if growth < 1.2 || growth > 3 {
+		t.Fatalf("LavaMD FIT growth %.2fx outside the modest-growth band", growth)
+	}
+	// "K40 has about 3x more SDCs than crashes and hangs" for LavaMD.
+	avg := (ratios[0] + ratios[1]) / 2
+	if avg < 1.8 || avg > 4.5 {
+		t.Fatalf("LavaMD SDC:DUE average %.2f outside the ~3 band", avg)
+	}
+}
+
+// §V: "For HotSpot, K40 has 7x more SDCs [than crashes and hangs]".
+func TestHotSpotRatioShape(t *testing.T) {
+	dev := New()
+	p := hotspotPaperProfile(dev)
+	_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+	ratio := sdc / (crash + hang)
+	if ratio < 4.5 || ratio > 10 {
+		t.Fatalf("HotSpot SDC:DUE %.2f outside the ~7 band", ratio)
+	}
+}
+
+// hotspotPaperProfile mirrors the 1024x1024 HotSpot profile without paying
+// for the golden simulation.
+func hotspotPaperProfile(dev arch.Device) arch.Profile {
+	return arch.Profile{
+		Kernel:             "HotSpot",
+		InputLabel:         "1024x1024",
+		OutputDims:         arch.Profile{}.OutputDims, // set below
+		Threads:            1024 * 1024,
+		Blocks:             (1024 / 32) * (1024 / 32),
+		LocalMemPerBlockKB: 4.5,
+		CacheFootprintKB:   2 * 1024 * 1024 * 4 / 1024,
+		ControlShare:       0.02,
+		FPUShare:           0.60,
+		MemoryBound:        true,
+		DispatchFactor:     0.1,
+		IterativeLaunches:  true,
+		RelRuntime:         1,
+	}
+}

@@ -1,0 +1,518 @@
+// Package clamr implements a from-scratch substitute for CLAMR, the LANL
+// fluid-dynamics mini-app used in the paper: a shallow-water solver
+// (conservation of mass, x momentum and y momentum; flat bottom; no
+// vertical flow) running the standard circular dam-break problem with a
+// cell-based adaptive mesh refinement (AMR) layer.
+//
+// The real CLAMR is a proprietary LANL workload. The substitution keeps
+// every property the paper's analysis relies on:
+//
+//   - a conservative scheme (Lax-Friedrichs) over (h, hu, hv), so a
+//     radiation-corrupted cell violates the mass invariant and the error
+//     propagates "as a wave ... increasing the number of incorrect
+//     elements as the execution continues" (§V-D, Fig. 9) — emergent from
+//     the real solver, not scripted;
+//   - a refinement map recomputed from the water-height gradient, driving
+//     load imbalance, an irregular access pattern, and the thread-count
+//     changes between time steps that stress control resources (Table I:
+//     CPU-bound, imbalanced, irregular);
+//   - the mass-conservation check of [4]/[19]: total water volume is
+//     tracked every step, so a detector can compare it against the
+//     golden invariant (the paper reports 82% fault coverage).
+package clamr
+
+import (
+	"fmt"
+	"math"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/grid"
+	"radcrit/internal/kernels"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+// Physics and scheme constants.
+const (
+	Gravity  = 9.8
+	DT       = 0.02 // CFL-safe for wave speeds up to ~sqrt(g*10)
+	DX       = 1.0
+	HInside  = 10.0 // dam water column height
+	HOutside = 2.0  // ambient water height
+	// RefineThreshold is the |grad h| above which a cell is refined.
+	RefineThreshold = 0.05
+	// RefineInterval is the step period of refinement-map recomputation.
+	RefineInterval = 10
+	// TileSide is the scheduler work-unit tile.
+	TileSide = 16
+	// MassCheckCellFraction is the mass-check threshold expressed as a
+	// fraction of one average cell's water volume: the detector fires when
+	// total volume drifts by more than 1% of a single cell. This separates
+	// real corruption (at least a sizeable fraction of one cell) from the
+	// solver's floating-point non-conservation (orders of magnitude
+	// smaller), independent of mesh size.
+	MassCheckCellFraction = 0.01
+
+	// UMax is the CFL velocity guard: solvers bound |u| to keep the time
+	// step stable, so a momentum word corrupted to an absurd magnitude is
+	// clamped to UMax*h instead of blowing up the scheme. The clamp keeps
+	// such runs mass-conserving — they corrupt the wave field (a critical
+	// SDC) without tripping the mass check, which is exactly the detector
+	// escape that holds the paper's coverage at ~82% instead of 100%.
+	UMax = 40.0
+)
+
+// state is the conserved-variable triple on the uniform fine mesh.
+type state struct {
+	h, hu, hv []float64
+}
+
+func newState(n int) *state {
+	return &state{h: make([]float64, n), hu: make([]float64, n), hv: make([]float64, n)}
+}
+
+func (s *state) copyFrom(o *state) {
+	copy(s.h, o.h)
+	copy(s.hu, o.hu)
+	copy(s.hv, o.hv)
+}
+
+// Kernel is a CLAMR instance: side x side cells, steps time steps.
+type Kernel struct {
+	side  int
+	steps int
+	seed  uint64
+
+	snapEvery  int
+	snaps      []*state
+	finalH     []float64
+	m0         float64 // golden total water volume
+	refineFrac float64 // mean refined-cell fraction over the golden run
+}
+
+var _ kernels.Kernel = (*Kernel)(nil)
+
+// New returns a CLAMR kernel. The paper's standard problem starts from a
+// 512x512 mesh and runs 5,000 timesteps; smaller configurations preserve
+// the same wave physics for testing.
+func New(side, steps int) *Kernel {
+	if side < 16 || steps < RefineInterval {
+		panic(fmt.Sprintf("clamr: invalid config side=%d steps=%d", side, steps))
+	}
+	k := &Kernel{side: side, steps: steps, seed: 0xC1A + uint64(side), snapEvery: 32}
+	k.computeGolden()
+	return k
+}
+
+// Side returns the mesh edge length.
+func (k *Kernel) Side() int { return k.side }
+
+// Steps returns the timestep count.
+func (k *Kernel) Steps() int { return k.steps }
+
+// Name implements kernels.Kernel.
+func (k *Kernel) Name() string { return "CLAMR" }
+
+// Domain implements kernels.Kernel (Table II).
+func (k *Kernel) Domain() string { return "Fluid dynamics" }
+
+// InputLabel implements kernels.Kernel.
+func (k *Kernel) InputLabel() string { return fmt.Sprintf("%dx%d", k.side, k.side) }
+
+// Class implements kernels.Kernel (Table I).
+func (k *Kernel) Class() kernels.Class {
+	return kernels.Class{BoundBy: "CPU", LoadBalance: "Imbalanced", MemoryAccess: "Irregular"}
+}
+
+// GoldenMass returns the conserved total water volume of the golden run.
+func (k *Kernel) GoldenMass() float64 { return k.m0 }
+
+// MassCheckThresholdRel returns the detector threshold as a relative drift
+// of total volume: MassCheckCellFraction of one average cell.
+func (k *Kernel) MassCheckThresholdRel() float64 {
+	return MassCheckCellFraction / float64(k.side*k.side)
+}
+
+// initState builds the circular dam-break initial condition.
+func (k *Kernel) initState() *state {
+	s := k.side
+	st := newState(s * s)
+	cx, cy := float64(s)/2, float64(s)/2
+	r := float64(s) / 6
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			if dx*dx+dy*dy <= r*r {
+				st.h[y*s+x] = HInside
+			} else {
+				st.h[y*s+x] = HOutside
+			}
+		}
+	}
+	return st
+}
+
+// mirror reads conserved variables at (x,y) with reflective walls:
+// height mirrored, wall-normal momentum negated.
+func (k *Kernel) mirror(st *state, x, y int) (h, hu, hv float64) {
+	s := k.side
+	nx, ny := x, y
+	fx, fy := 1.0, 1.0
+	if nx < 0 {
+		nx, fx = 0, -1
+	}
+	if nx >= s {
+		nx, fx = s-1, -1
+	}
+	if ny < 0 {
+		ny, fy = 0, -1
+	}
+	if ny >= s {
+		ny, fy = s-1, -1
+	}
+	i := ny*s + nx
+	return st.h[i], st.hu[i] * fx, st.hv[i] * fy
+}
+
+// fluxes of the shallow-water equations.
+func fluxX(h, hu, hv float64) (f0, f1, f2 float64) {
+	u := hu / h
+	return hu, hu*u + 0.5*Gravity*h*h, hv * u
+}
+
+func fluxY(h, hu, hv float64) (g0, g1, g2 float64) {
+	v := hv / h
+	return hv, hu * v, hv*v + 0.5*Gravity*h*h
+}
+
+// step advances src into dst by one Lax-Friedrichs step. frozen, when
+// non-nil, marks cells whose update is skipped (mis-scheduled tiles).
+func (k *Kernel) step(dst, src *state, frozen []bool) {
+	s := k.side
+	c := DT / (2 * DX)
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			i := y*s + x
+			if frozen != nil && frozen[i] {
+				dst.h[i], dst.hu[i], dst.hv[i] = src.h[i], src.hu[i], src.hv[i]
+				continue
+			}
+			hE, huE, hvE := k.mirror(src, x+1, y)
+			hW, huW, hvW := k.mirror(src, x-1, y)
+			hN, huN, hvN := k.mirror(src, x, y-1)
+			hS, huS, hvS := k.mirror(src, x, y+1)
+
+			fE0, fE1, fE2 := fluxX(hE, huE, hvE)
+			fW0, fW1, fW2 := fluxX(hW, huW, hvW)
+			gN0, gN1, gN2 := fluxY(hN, huN, hvN)
+			gS0, gS1, gS2 := fluxY(hS, huS, hvS)
+
+			dst.h[i] = 0.25*(hE+hW+hN+hS) - c*(fE0-fW0) - c*(gS0-gN0)
+			dst.hu[i] = 0.25*(huE+huW+huN+huS) - c*(fE1-fW1) - c*(gS1-gN1)
+			dst.hv[i] = 0.25*(hvE+hvW+hvN+hvS) - c*(fE2-fW2) - c*(gS2-gN2)
+
+			sanitizeCell(dst, i)
+		}
+	}
+}
+
+// sanitizeCell keeps the solver marching after radical corruption: real
+// hardware would either crash (caught upstream by the outcome model) or
+// keep producing finite garbage. Non-finite values are replaced by the
+// ambient state and heights are clamped positive, so corruption spreads as
+// data rather than as NaN wavefronts.
+func sanitizeCell(st *state, i int) {
+	if math.IsNaN(st.h[i]) || math.IsInf(st.h[i], 0) {
+		st.h[i] = HOutside
+	}
+	if st.h[i] < 1e-3 {
+		st.h[i] = 1e-3
+	}
+	if st.h[i] > 1e9 {
+		st.h[i] = 1e9
+	}
+	for _, arr := range [][]float64{st.hu, st.hv} {
+		if math.IsNaN(arr[i]) || math.IsInf(arr[i], 0) {
+			arr[i] = 0
+		}
+		// CFL velocity guard (see UMax).
+		if lim := UMax * st.h[i]; arr[i] > lim {
+			arr[i] = lim
+		} else if arr[i] < -lim {
+			arr[i] = -lim
+		}
+	}
+}
+
+// refineMap marks cells whose height gradient exceeds the threshold: the
+// cell-based AMR criterion.
+func (k *Kernel) refineMap(st *state) []bool {
+	s := k.side
+	m := make([]bool, s*s)
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			hE, _, _ := k.mirror(st, x+1, y)
+			hW, _, _ := k.mirror(st, x-1, y)
+			hN, _, _ := k.mirror(st, x, y-1)
+			hS, _, _ := k.mirror(st, x, y+1)
+			gx := (hE - hW) / 2
+			gy := (hS - hN) / 2
+			m[y*s+x] = math.Sqrt(gx*gx+gy*gy) > RefineThreshold
+		}
+	}
+	return m
+}
+
+// computeGolden runs the fault-free simulation, storing snapshots and the
+// AMR statistics that feed the occupancy profile.
+func (k *Kernel) computeGolden() {
+	n := k.side * k.side
+	cur := k.initState()
+	next := newState(n)
+	k.m0 = sum(cur.h)
+
+	snap := newState(n)
+	snap.copyFrom(cur)
+	k.snaps = append(k.snaps, snap)
+
+	var refinedSum float64
+	samples := 0
+	for t := 0; t < k.steps; t++ {
+		k.step(next, cur, nil)
+		cur, next = next, cur
+		if (t+1)%k.snapEvery == 0 {
+			sn := newState(n)
+			sn.copyFrom(cur)
+			k.snaps = append(k.snaps, sn)
+		}
+		if (t+1)%RefineInterval == 0 {
+			m := k.refineMap(cur)
+			c := 0
+			for _, r := range m {
+				if r {
+					c++
+				}
+			}
+			refinedSum += float64(c) / float64(n)
+			samples++
+		}
+	}
+	if samples > 0 {
+		k.refineFrac = refinedSum / float64(samples)
+	}
+	k.finalH = make([]float64, n)
+	copy(k.finalH, cur.h)
+}
+
+// stateAt reconstructs the golden state at step t.
+func (k *Kernel) stateAt(t int) *state {
+	si := t / k.snapEvery
+	if si >= len(k.snaps) {
+		si = len(k.snaps) - 1
+	}
+	n := k.side * k.side
+	cur := newState(n)
+	cur.copyFrom(k.snaps[si])
+	next := newState(n)
+	for step := si * k.snapEvery; step < t; step++ {
+		k.step(next, cur, nil)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// GoldenFinal returns the golden water-height output as a grid.
+func (k *Kernel) GoldenFinal() *grid.Grid {
+	g := grid.New2D(k.side, k.side)
+	copy(g.Data(), k.finalH)
+	return g
+}
+
+// RefinedFraction returns the mean fraction of refined cells during the
+// golden run (AMR statistics).
+func (k *Kernel) RefinedFraction() float64 { return k.refineFrac }
+
+// Profile implements kernels.Kernel. CLAMR is compute-bound on double
+// precision, control-heavy (border tests, AMR re-balancing, one kernel
+// launch per timestep) and its thread count changes between steps
+// ("#cells or more", Table II).
+func (k *Kernel) Profile(dev arch.Device) arch.Profile {
+	cells := k.side * k.side
+	amrCells := int(float64(cells) * (1 + 3*k.refineFrac)) // refined cells split 2x2
+	p := arch.Profile{
+		Kernel:           "CLAMR",
+		InputLabel:       k.InputLabel(),
+		OutputDims:       grid.Dims{X: k.side, Y: k.side, Z: 1},
+		Threads:          amrCells,
+		Blocks:           (k.side / TileSide) * (k.side / TileSide),
+		CacheFootprintKB: 3 * float64(cells) * 8 / 1024,
+		ControlShare:     0.35,
+		MemoryBound:      false,
+		Irregular:        true,
+		// CLAMR launches kernels every timestep but also rebalances the
+		// mesh between steps: dispatch pressure sits between HotSpot's
+		// amortised relaunch and DGEMM's block streaming.
+		DispatchFactor:    0.6,
+		IterativeLaunches: true,
+		RelRuntime:        float64(cells) * float64(k.steps) / (512 * 512 * 5000),
+	}
+	m := dev.Model()
+	if m.SharedMemKBPerCore > 0 {
+		p.LocalMemPerBlockKB = 3
+	}
+	if m.VectorWidthBits > 0 {
+		p.VectorShare = 0.45
+		p.FPUShare = 0.40
+	} else {
+		p.FPUShare = 0.70
+	}
+	return p
+}
+
+// Detail is the per-run detector evidence accompanying a mismatch report.
+type Detail struct {
+	// MaxMassDriftRel is the largest |mass(t)-M0|/M0 observed after the
+	// injection: the signal of the mass-conservation check.
+	MaxMassDriftRel float64
+	// MassCheckFired reports whether the drift exceeded the tolerance.
+	MassCheckFired bool
+}
+
+// RunInjected implements kernels.Kernel.
+func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	rep, _ := k.RunInjectedDetailed(dev, inj, rng)
+	return rep
+}
+
+// stateTargetWeights biases which conserved array a storage strike hits:
+// h has the longest cache residency (read by every flux computation, the
+// refinement criterion, and the mass check), so it absorbs the most
+// strikes; the momentum arrays split the rest. Momentum corruption
+// conserves mass unless it trips the solver's positivity clamps, which is
+// the detector-escape path that keeps the mass check's coverage at the
+// paper's ~82% rather than 100%.
+var stateTargetWeights = []float64{0.70, 0.15, 0.15}
+
+// RunInjectedDetailed runs one irradiated execution and also returns the
+// detector evidence.
+func (k *Kernel) RunInjectedDetailed(dev arch.Device, inj arch.Injection, rng *xrand.RNG) (*metrics.Report, Detail) {
+	t0 := int(inj.When * float64(k.steps))
+	if t0 >= k.steps {
+		t0 = k.steps - 1
+	}
+	n := k.side * k.side
+	cur := k.stateAt(t0)
+	next := newState(n)
+
+	var frozen []bool
+	frozenUntil := -1
+
+	// Apply the injection to the live state.
+	switch inj.Scope {
+	case arch.ScopeAccumTerm, arch.ScopeInputWord, arch.ScopeOutputWord:
+		k.corruptWords(cur, rng.Intn(n), 1, inj, rng)
+	case arch.ScopeVectorLanes:
+		k.corruptWords(cur, alignedStart(rng, n, inj.Words), inj.Words, inj, rng)
+	case arch.ScopeCacheLine, arch.ScopeSharedTile:
+		for line := 0; line < inj.Lines; line++ {
+			k.corruptWords(cur, alignedStart(rng, n, inj.Words), inj.Words, inj, rng)
+		}
+	case arch.ScopeTaskSet:
+		// Mis-refinement: tiles wrongly marked coarse are not updated
+		// until the next refinement pass.
+		frozen = make([]bool, n)
+		tilesPerSide := k.side / TileSide
+		for t := 0; t < inj.Tasks; t++ {
+			tx, ty := rng.Intn(tilesPerSide), rng.Intn(tilesPerSide)
+			for y := ty * TileSide; y < (ty+1)*TileSide; y++ {
+				for x := tx * TileSide; x < (tx+1)*TileSide; x++ {
+					frozen[y*k.side+x] = true
+				}
+			}
+		}
+		frozenUntil = t0 + RefineInterval
+	}
+
+	// Continue the real simulation, tracking the mass invariant.
+	var maxDrift float64
+	for t := t0; t < k.steps; t++ {
+		fz := frozen
+		if t >= frozenUntil {
+			fz = nil
+		}
+		k.step(next, cur, fz)
+		cur, next = next, cur
+		drift := math.Abs(sum(cur.h)-k.m0) / k.m0
+		if drift > maxDrift {
+			maxDrift = drift
+		}
+	}
+
+	// Compare against the golden output.
+	rep := &metrics.Report{
+		Dims:          grid.Dims{X: k.side, Y: k.side, Z: 1},
+		TotalElements: n,
+	}
+	for i, v := range cur.h {
+		g := k.finalH[i]
+		if v == g {
+			continue
+		}
+		rep.Mismatches = append(rep.Mismatches, metrics.Mismatch{
+			Coord:     grid.Coord{X: i % k.side, Y: i / k.side},
+			Read:      v,
+			Expected:  g,
+			RelErrPct: metrics.RelativeErrorPct(v, g),
+		})
+	}
+	det := Detail{
+		MaxMassDriftRel: maxDrift,
+		MassCheckFired:  maxDrift > k.MassCheckThresholdRel(),
+	}
+	return rep, det
+}
+
+// RunDense materialises golden and faulty outputs for examples/Fig. 9.
+func (k *Kernel) RunDense(dev arch.Device, inj arch.Injection, rng *xrand.RNG) (golden, faulty *grid.Grid) {
+	golden = k.GoldenFinal()
+	faulty = golden.Clone()
+	rep := k.RunInjected(dev, inj, rng)
+	for _, m := range rep.Mismatches {
+		faulty.Set(m.Coord, m.Read)
+	}
+	return golden, faulty
+}
+
+// corruptWords flips words..words+count of a conserved array chosen by
+// residency weight, starting at cell index start.
+func (k *Kernel) corruptWords(st *state, start, count int, inj arch.Injection, rng *xrand.RNG) {
+	arrs := [][]float64{st.h, st.hu, st.hv}
+	arr := arrs[rng.WeightedChoice(stateTargetWeights)]
+	for w := 0; w < count && start+w < len(arr); w++ {
+		arr[start+w] = inj.Flip.Apply(arr[start+w], rng)
+	}
+	// Immediate sanitation mirrors what the next step would do anyway but
+	// keeps the mass accounting finite.
+	for w := 0; w < count && start+w < len(arr); w++ {
+		sanitizeCell(st, start+w)
+	}
+}
+
+func alignedStart(rng *xrand.RNG, n, words int) int {
+	if words <= 0 {
+		words = 1
+	}
+	slots := n / words
+	if slots < 1 {
+		return 0
+	}
+	return rng.Intn(slots) * words
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+)
+
+// The difference field obeys a strictly dissipative recurrence: its L1
+// norm must never grow, and must shrink monotonically once the field is
+// clear of the injection transient. This is the mathematical core behind
+// §V-C's "errors will eventually dissipate as the result tend to reach an
+// equilibrium".
+func TestDiffFieldL1NormDecays(t *testing.T) {
+	seeds := []diffSeed{{x: 24, y: 24, d: 100}}
+	prev := math.Inf(1)
+	// Evolving to iteration T from a seed at iteration 0: the norm after
+	// T steps must be non-increasing in T.
+	for _, steps := range []int{2, 3, 4, 6, 8, 10} {
+		k := New(48, steps)
+		diff := k.evolveDiff(seeds, 0)
+		var norm float64
+		for _, d := range diff {
+			norm += math.Abs(d)
+		}
+		if norm > prev*(1+1e-12) {
+			t.Fatalf("L1 norm grew at %d steps: %v > %v", steps, norm, prev)
+		}
+		prev = norm
+	}
+}
+
+func TestRangeGuardBounds(t *testing.T) {
+	// The golden field must live inside the validity band, otherwise the
+	// guard would clip legitimate values.
+	k := New(64, 200)
+	for _, v := range k.final {
+		if float64(v) < ValidLo || float64(v) > ValidHi {
+			t.Fatalf("golden temperature %v outside the validity band [%v,%v]",
+				v, ValidLo, ValidHi)
+		}
+	}
+}
+
+func TestSnapshotsCoverRun(t *testing.T) {
+	k := New(32, 100)
+	// One initial snapshot plus one per snapEvery interval.
+	want := 1 + k.iters/k.snapEvery
+	if len(k.golden) != want {
+		t.Fatalf("snapshots = %d, want %d", len(k.golden), want)
+	}
+}

@@ -1,0 +1,113 @@
+// Package kernels defines the benchmark-kernel abstraction shared by the
+// four workloads of the paper (DGEMM, LavaMD, HotSpot, CLAMR) and the
+// helpers they share.
+//
+// A kernel knows how to (a) describe its occupancy of a device (Profile,
+// Table II of the paper), (b) classify itself (Table I), and (c) run one
+// irradiated execution: apply an arch.Injection to its own live state and
+// report the resulting output mismatches against the fault-free golden
+// output. Error propagation is performed by the kernel's real mathematics
+// — a corrupted matrix element re-enters the actual dot products, a
+// corrupted temperature cell is smoothed by the actual stencil — so the
+// paper's observed behaviours are emergent rather than scripted.
+//
+// For the two non-iterative kernels (DGEMM, LavaMD) faulty runs use exact
+// delta propagation: only outputs reachable from the corrupted state are
+// recomputed, and golden values are derived lazily. This is mathematically
+// identical to a full faulty re-execution because the untouched outputs are
+// bit-identical by construction, and it makes paper-scale inputs (8192x8192
+// matrices) tractable inside a campaign of thousands of executions.
+package kernels
+
+import (
+	"radcrit/internal/arch"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+// Class is a kernel's Table I classification.
+type Class struct {
+	// BoundBy is "CPU" or "Memory".
+	BoundBy string
+	// LoadBalance is "Balanced" or "Imbalanced".
+	LoadBalance string
+	// MemoryAccess is "Regular" or "Irregular".
+	MemoryAccess string
+}
+
+// Kernel is one benchmark workload at one input configuration.
+type Kernel interface {
+	// Name is the benchmark name ("DGEMM", "LavaMD", "HotSpot", "CLAMR").
+	Name() string
+	// Domain is the Table II application domain.
+	Domain() string
+	// InputLabel names this input configuration (e.g. "2048x2048").
+	InputLabel() string
+	// Class returns the Table I classification.
+	Class() Class
+	// Profile describes the kernel's occupancy of dev.
+	Profile(dev arch.Device) arch.Profile
+	// RunInjected executes the kernel under the given injection and
+	// returns the output mismatch report against the golden output.
+	// An empty report means the corruption was logically masked.
+	RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report
+}
+
+// DenseRunner is implemented by kernels that can materialise full golden
+// and faulty output grids (used by examples and the Fig. 9 locality map).
+type DenseRunner interface {
+	Kernel
+	// RunDense returns the golden and faulty outputs as dense grids.
+	RunDense(dev arch.Device, inj arch.Injection, rng *xrand.RNG) (golden, faulty interface{ Data() []float64 })
+}
+
+// ValueAt returns a deterministic pseudo-random value in [lo, hi) keyed by
+// (seed, i, k). It lets huge matrices exist without storage: element (i,k)
+// is a pure function of the key, so lazy golden evaluation and full
+// materialisation agree bit-for-bit.
+func ValueAt(seed uint64, i, k int, lo, hi float64) float64 {
+	h := seed
+	h ^= uint64(i)*0x9E3779B97F4A7C15 + 0x7F4A7C15
+	h = mix(h)
+	h ^= uint64(k)*0xC2B2AE3D27D4EB4F + 0x27D4EB4F
+	h = mix(h)
+	u := float64(h>>11) / (1 << 53)
+	return lo + u*(hi-lo)
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Words32 converts a 64-bit word count from the device model into a 32-bit
+// word count for single-precision kernels (HotSpot): the same cache line
+// holds twice as many float32 values.
+func Words32(words64 int) int {
+	w := words64 * 2
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ProgressConsumed reports whether a consumer at progress frac (position
+// idx of total) runs after the injection time when, i.e. observes the
+// corrupted state.
+func ProgressConsumed(idx, total int, when float64) bool {
+	if total <= 0 {
+		return false
+	}
+	return float64(idx)/float64(total) >= when
+}
+
+// VectorWords returns the SIMD lane count in output words for a device
+// (minimum 1 for scalar devices).
+func VectorWords(dev arch.Device, precisionBits int) int {
+	vw := dev.Model().VectorWidthBits / precisionBits
+	if vw < 1 {
+		vw = 1
+	}
+	return vw
+}

@@ -1,0 +1,507 @@
+// Package lavamd implements the paper's particle-interaction benchmark:
+// an N-Body style solver (Rodinia's LavaMD) computing particle potentials
+// from mutual forces within a large 3D space divided into boxes. It is
+// memory-bound, load-imbalanced (border boxes have fewer neighbours) and
+// has a regular access pattern (Table I).
+//
+// Each particle's potential accumulates q_j * exp(-alpha * r^2) over all
+// particles in the 27-box neighbourhood (home box + 26 cut-off
+// neighbours). The exponential is the criticality lever the paper
+// highlights: "exponentiation operations can turn small value variations
+// into large differences" (§V-E), which is why transcendental-unit strikes
+// on the K40 produce enormous relative errors. Faulty runs use exact delta
+// propagation over the affected neighbourhoods.
+package lavamd
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/grid"
+	"radcrit/internal/kernels"
+	"radcrit/internal/metrics"
+	"radcrit/internal/xrand"
+)
+
+// Alpha is the exponential decay constant of the interaction kernel.
+const Alpha = 0.5
+
+// ParticleWords is the per-particle state footprint in 64-bit words
+// (x, y, z, charge).
+const ParticleWords = 4
+
+// Kernel is a LavaMD instance: a g x g x g grid of boxes.
+type Kernel struct {
+	g    int
+	seed uint64
+	// goldenCache memoises GoldenPotential per (particles-per-box,
+	// flat particle id): potentials are pure functions of the kernel's
+	// deterministic particle state, and campaign runs query the same
+	// consumers thousands of times.
+	goldenCache sync.Map
+}
+
+var _ kernels.Kernel = (*Kernel)(nil)
+
+// New returns a LavaMD kernel with g boxes per dimension (the paper uses
+// 13, 15, 19 and 23).
+func New(g int) *Kernel {
+	if g < 2 {
+		panic(fmt.Sprintf("lavamd: grid size %d too small", g))
+	}
+	return &Kernel{g: g, seed: 0x1A7A + uint64(g)}
+}
+
+// GridSize returns boxes per dimension.
+func (k *Kernel) GridSize() int { return k.g }
+
+// Name implements kernels.Kernel.
+func (k *Kernel) Name() string { return "LavaMD" }
+
+// Domain implements kernels.Kernel (Table II).
+func (k *Kernel) Domain() string { return "Molecular dynamics" }
+
+// InputLabel implements kernels.Kernel.
+func (k *Kernel) InputLabel() string { return fmt.Sprintf("grid %d", k.g) }
+
+// Class implements kernels.Kernel (Table I).
+func (k *Kernel) Class() kernels.Class {
+	return kernels.Class{BoundBy: "Memory", LoadBalance: "Imbalanced", MemoryAccess: "Regular"}
+}
+
+// ParticlesPerBox returns the per-box particle count, selected "to best
+// fit the hardware" (Table II): 192 on the K40's wide SMs, 100 on the
+// Phi's 4-thread cores. The device's SIMD width is the discriminator.
+func (k *Kernel) ParticlesPerBox(dev arch.Device) int {
+	if dev.Model().VectorWidthBits > 0 {
+		return 100
+	}
+	return 192
+}
+
+// particle returns the deterministic state of global particle gidx in box
+// (bx,by,bz): global position and charge.
+func (k *Kernel) particle(bx, by, bz, idx int) (x, y, z, q float64) {
+	gidx := ((bz*k.g+by)*k.g+bx)*4096 + idx
+	x = float64(bx) + kernels.ValueAt(k.seed, gidx, 0, 0, 1)
+	y = float64(by) + kernels.ValueAt(k.seed, gidx, 1, 0, 1)
+	z = float64(bz) + kernels.ValueAt(k.seed, gidx, 2, 0, 1)
+	q = kernels.ValueAt(k.seed, gidx, 3, 0.5, 1.5)
+	return
+}
+
+// interaction returns one pairwise term q_j * exp(-Alpha * r^2).
+func interaction(xi, yi, zi, xj, yj, zj, qj float64) float64 {
+	dx, dy, dz := xi-xj, yi-yj, zi-zj
+	r2 := dx*dx + dy*dy + dz*dz
+	return qj * math.Exp(-Alpha*r2)
+}
+
+// boxIndex linearises box coordinates; it also defines processing order.
+func (k *Kernel) boxIndex(bx, by, bz int) int { return (bz*k.g+by)*k.g + bx }
+
+// neighbors calls fn for every box in b's cut-off neighbourhood including
+// b itself.
+func (k *Kernel) neighbors(bx, by, bz int, fn func(nx, ny, nz int)) {
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny, nz := bx+dx, by+dy, bz+dz
+				if nx < 0 || nx >= k.g || ny < 0 || ny >= k.g || nz < 0 || nz >= k.g {
+					continue
+				}
+				fn(nx, ny, nz)
+			}
+		}
+	}
+}
+
+// GoldenPotential computes the fault-free potential of particle idx of box
+// (bx,by,bz) on demand, memoised per particle.
+func (k *Kernel) GoldenPotential(dev arch.Device, bx, by, bz, idx int) float64 {
+	p := k.ParticlesPerBox(dev)
+	key := (int64(p)<<40 | int64(k.boxIndex(bx, by, bz))<<12 | int64(idx))
+	if v, ok := k.goldenCache.Load(key); ok {
+		return v.(float64)
+	}
+	xi, yi, zi, _ := k.particle(bx, by, bz, idx)
+	var v float64
+	k.neighbors(bx, by, bz, func(nx, ny, nz int) {
+		for j := 0; j < p; j++ {
+			if nx == bx && ny == by && nz == bz && j == idx {
+				continue // no self-interaction
+			}
+			xj, yj, zj, qj := k.particle(nx, ny, nz, j)
+			v += interaction(xi, yi, zi, xj, yj, zj, qj)
+		}
+	})
+	k.goldenCache.Store(key, v)
+	return v
+}
+
+// Profile implements kernels.Kernel. LavaMD keeps the home box and one
+// neighbour box in local memory at all times (~14 KB per block on the
+// K40, §V-B), which caps GPU occupancy and with it scheduler strain.
+// Border boxes have truncated neighbourhoods: the resulting load imbalance
+// shrinks with grid size, reducing the control-flow share of big inputs.
+func (k *Kernel) Profile(dev arch.Device) arch.Profile {
+	p := k.ParticlesPerBox(dev)
+	boxes := k.g * k.g * k.g
+	inner := float64((k.g - 2) * (k.g - 2) * (k.g - 2))
+	borderFrac := 1 - inner/float64(boxes)
+	prof := arch.Profile{
+		Kernel:             "LavaMD",
+		InputLabel:         k.InputLabel(),
+		OutputDims:         k.outputDims(dev),
+		Threads:            boxes * p,
+		Blocks:             boxes,
+		LocalMemPerBlockKB: 2 * float64(p) * ParticleWords * 8 / 1024,
+		CacheFootprintKB:   float64(boxes) * float64(p) * ParticleWords * 8 / 1024,
+		ControlShare:       0.04 + 1.2*borderFrac*borderFrac,
+		MemoryBound:        true,
+		Irregular:          false,
+		// Heavy local-memory use caps the number of simultaneously
+		// resident blocks, limiting scheduler strain (§V-B).
+		DispatchFactor: 0.08,
+		RelRuntime:     float64(boxes) * float64(p*p) / (13 * 13 * 13 * 100 * 100),
+	}
+	m := dev.Model()
+	// On the K40 blocks stage particle boxes into local memory and read
+	// each cache line once (streaming: upsets mostly hit dead lines); the
+	// Phi instead re-reads neighbour boxes from its large coherent L2, so
+	// cached particle data stays live across many consumers (§V-E).
+	prof.StreamingData = m.SharedMemKBPerCore > 0
+	if m.SFUAreaAU > 0 {
+		// GPU: exponentials run on the dedicated transcendental unit.
+		prof.SFUShare = 0.45
+		prof.FPUShare = 0.45
+	} else {
+		prof.FPUShare = 0.45
+	}
+	if m.VectorWidthBits > 0 {
+		prof.VectorShare = 0.55
+	}
+	return prof
+}
+
+// outputDims maps the particle potentials to a 3D grid: the x axis
+// interleaves the particles of each box (x = bx*P + idx), y and z are box
+// coordinates — exactly the "multiple dimensions of the output" view the
+// paper's spatial-locality metric takes of LavaMD.
+func (k *Kernel) outputDims(dev arch.Device) grid.Dims {
+	return grid.Dims{X: k.g * k.ParticlesPerBox(dev), Y: k.g, Z: k.g}
+}
+
+// run carries per-execution lazy golden state.
+type run struct {
+	k   *Kernel
+	dev arch.Device
+	p   int
+	// faulty holds corrupted potentials keyed by flat particle id.
+	faulty map[int]float64
+	rep    *metrics.Report
+}
+
+func (k *Kernel) newRun(dev arch.Device) *run {
+	dims := k.outputDims(dev)
+	return &run{
+		k:      k,
+		dev:    dev,
+		p:      k.ParticlesPerBox(dev),
+		faulty: make(map[int]float64),
+		rep: &metrics.Report{
+			Dims:          dims,
+			TotalElements: dims.Len(),
+		},
+	}
+}
+
+func (r *run) coordOf(bx, by, bz, idx int) grid.Coord {
+	return grid.Coord{X: bx*r.p + idx, Y: by, Z: bz}
+}
+
+// adjust accumulates a potential delta for one particle.
+func (r *run) adjust(bx, by, bz, idx int, delta float64) {
+	if delta == 0 {
+		return
+	}
+	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
+	if _, ok := r.faulty[key]; !ok {
+		r.faulty[key] = r.k.GoldenPotential(r.dev, bx, by, bz, idx)
+	}
+	r.faulty[key] += delta
+}
+
+// set overrides a particle's faulty potential outright.
+func (r *run) set(bx, by, bz, idx int, v float64) {
+	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
+	r.faulty[key] = v
+}
+
+// finish converts accumulated faulty values into the mismatch report.
+func (r *run) finish() *metrics.Report {
+	for key, v := range r.faulty {
+		idx := key & 0xFFF
+		box := key >> 12
+		bx := box % r.k.g
+		by := (box / r.k.g) % r.k.g
+		bz := box / (r.k.g * r.k.g)
+		g := r.k.GoldenPotential(r.dev, bx, by, bz, idx)
+		if v == g {
+			continue
+		}
+		r.rep.Mismatches = append(r.rep.Mismatches, metrics.Mismatch{
+			Coord:     r.coordOf(bx, by, bz, idx),
+			Read:      v,
+			Expected:  g,
+			RelErrPct: metrics.RelativeErrorPct(v, g),
+		})
+	}
+	return r.rep
+}
+
+// RunInjected implements kernels.Kernel.
+func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	r := k.newRun(dev)
+	p := r.p
+	g := k.g
+	randBox := func() (int, int, int) { return rng.Intn(g), rng.Intn(g), rng.Intn(g) }
+
+	switch inj.Scope {
+	case arch.ScopeAccumTerm, arch.ScopeInputWord:
+		// Datapath strike (FPU or transcendental unit): in LavaMD
+		// virtually every FP operation feeds an exponential. A strike in
+		// the transcendental pipeline perturbs the range-reduced
+		// representation — the integer exponent part of exp()'s
+		// argument — so the produced term comes out scaled by a power of
+		// two: always a large error, matching the paper's hypothesis
+		// that "exponentiation operations can turn small value
+		// variations into large differences" and that the K40's LavaMD
+		// SDCs are uniformly enormous (§V-E).
+		bx, by, bz := randBox()
+		idx := rng.Intn(p)
+		t := k.randomTerm(dev, bx, by, bz, idx, rng)
+		shift := 4 + rng.Intn(28)
+		scale := math.Ldexp(1, shift)
+		if rng.Bool(0.3) {
+			scale = 1 / scale // result collapses instead of exploding
+		}
+		r.adjust(bx, by, bz, idx, t*scale-t)
+
+	case arch.ScopeOutputWord:
+		bx, by, bz := randBox()
+		idx := rng.Intn(p)
+		gv := k.GoldenPotential(dev, bx, by, bz, idx)
+		r.set(bx, by, bz, idx, inj.Flip.Apply(gv, rng))
+
+	case arch.ScopeVectorLanes:
+		// Adjacent potentials written back from one SIMD register.
+		bx, by, bz := randBox()
+		idx0 := rng.Intn(p)
+		for w := 0; w < inj.Words && idx0+w < p; w++ {
+			gv := k.GoldenPotential(dev, bx, by, bz, idx0+w)
+			r.set(bx, by, bz, idx0+w, inj.Flip.Apply(gv, rng))
+		}
+
+	case arch.ScopeCacheLine:
+		k.injectCacheLines(r, inj, rng)
+
+	case arch.ScopeSharedTile:
+		k.injectSharedTile(r, inj, rng)
+
+	case arch.ScopeTaskSet:
+		k.injectTaskSet(r, inj, rng)
+	}
+
+	return r.finish()
+}
+
+// randomTerm returns one golden pairwise term of particle idx.
+func (k *Kernel) randomTerm(dev arch.Device, bx, by, bz, idx int, rng *xrand.RNG) float64 {
+	p := k.ParticlesPerBox(dev)
+	xi, yi, zi, _ := k.particle(bx, by, bz, idx)
+	nx, ny, nz, j := k.randomNeighborParticle(p, bx, by, bz, idx, rng)
+	xj, yj, zj, qj := k.particle(nx, ny, nz, j)
+	return interaction(xi, yi, zi, xj, yj, zj, qj)
+}
+
+// randomNeighborParticle picks a random interaction partner of (box, idx)
+// among the p particles of each neighbouring box, excluding idx itself.
+func (k *Kernel) randomNeighborParticle(p, bx, by, bz, idx int, rng *xrand.RNG) (nx, ny, nz, j int) {
+	type box struct{ x, y, z int }
+	var nbs []box
+	k.neighbors(bx, by, bz, func(x, y, z int) { nbs = append(nbs, box{x, y, z}) })
+	for {
+		nb := nbs[rng.Intn(len(nbs))]
+		j = rng.Intn(p)
+		if nb.x == bx && nb.y == by && nb.z == bz && j == idx {
+			continue // no self-interaction; p > 1 guarantees progress
+		}
+		return nb.x, nb.y, nb.z, j
+	}
+}
+
+// injectCacheLines corrupts particle state resident in cache. Every box
+// whose neighbourhood contains a corrupted particle and which is processed
+// after the strike consumes the poisoned copy; deltas are computed with
+// the real interaction kernel.
+func (k *Kernel) injectCacheLines(r *run, inj arch.Injection, rng *xrand.RNG) {
+	p := r.p
+	g := k.g
+	totalWords := g * g * g * p * ParticleWords
+	for line := 0; line < inj.Lines; line++ {
+		w0 := alignedStart(rng, totalWords, inj.Words)
+		// Collect corrupted particles (deduplicated) and their new state.
+		type corruptedParticle struct {
+			bx, by, bz, idx int
+			comp            int
+		}
+		var cs []corruptedParticle
+		for w := 0; w < inj.Words && w0+w < totalWords; w++ {
+			word := w0 + w
+			gidx := word / ParticleWords
+			comp := word % ParticleWords
+			idx := gidx % p
+			box := gidx / p
+			bx := box % g
+			by := (box / g) % g
+			bz := box / (g * g)
+			cs = append(cs, corruptedParticle{bx, by, bz, idx, comp})
+		}
+		for _, c := range cs {
+			k.propagateParticleCorruption(r, inj, rng, c.bx, c.by, c.bz, c.idx, c.comp)
+		}
+	}
+}
+
+// propagateParticleCorruption recomputes, by exact delta, every potential
+// that consumed the corrupted component of particle (box, idx).
+func (k *Kernel) propagateParticleCorruption(r *run, inj arch.Injection, rng *xrand.RNG, bx, by, bz, idx, comp int) {
+	p := r.p
+	xj, yj, zj, qj := k.particle(bx, by, bz, idx)
+	vals := [ParticleWords]float64{xj, yj, zj, qj}
+	orig := vals[comp]
+	vals[comp] = inj.Flip.Apply(orig, rng)
+	if vals[comp] == orig {
+		return
+	}
+	xn, yn, zn, qn := vals[0], vals[1], vals[2], vals[3]
+
+	k.neighbors(bx, by, bz, func(cx, cy, cz int) {
+		// Consumer boxes processed before the strike read clean data.
+		if !kernels.ProgressConsumed(k.boxIndex(cx, cy, cz), k.g*k.g*k.g, inj.When) {
+			return
+		}
+		for i := 0; i < p; i++ {
+			if cx == bx && cy == by && cz == bz && i == idx {
+				continue
+			}
+			xi, yi, zi, _ := k.particle(cx, cy, cz, i)
+			old := interaction(xi, yi, zi, xj, yj, zj, qj)
+			new_ := interaction(xi, yi, zi, xn, yn, zn, qn)
+			r.adjust(cx, cy, cz, i, new_-old)
+		}
+	})
+
+	// The corrupted particle's own potential is also recomputed from its
+	// corrupted position if its box runs after the strike.
+	if kernels.ProgressConsumed(k.boxIndex(bx, by, bz), k.g*k.g*k.g, inj.When) && comp < 3 {
+		var v float64
+		k.neighbors(bx, by, bz, func(nx2, ny2, nz2 int) {
+			for j := 0; j < p; j++ {
+				if nx2 == bx && ny2 == by && nz2 == bz && j == idx {
+					continue
+				}
+				x2, y2, z2, q2 := k.particle(nx2, ny2, nz2, j)
+				v += interaction(xn, yn, zn, x2, y2, z2, q2)
+			}
+		})
+		r.set(bx, by, bz, idx, v)
+	}
+}
+
+// injectSharedTile corrupts a neighbour-box copy staged in one block's
+// local memory: only that single consumer box computes with poisoned data.
+func (k *Kernel) injectSharedTile(r *run, inj arch.Injection, rng *xrand.RNG) {
+	p := r.p
+	g := k.g
+	cx, cy, cz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
+	type box struct{ x, y, z int }
+	var nbs []box
+	k.neighbors(cx, cy, cz, func(x, y, z int) { nbs = append(nbs, box{x, y, z}) })
+	nb := nbs[rng.Intn(len(nbs))]
+
+	w0 := alignedStart(rng, p*ParticleWords, inj.Words)
+	for w := 0; w < inj.Words && w0+w < p*ParticleWords; w++ {
+		word := w0 + w
+		j := word / ParticleWords
+		comp := word % ParticleWords
+		if nb.x == cx && nb.y == cy && nb.z == cz {
+			// Home-box copy corrupted; fall through to same math.
+		}
+		xj, yj, zj, qj := k.particle(nb.x, nb.y, nb.z, j)
+		vals := [ParticleWords]float64{xj, yj, zj, qj}
+		orig := vals[comp]
+		vals[comp] = inj.Flip.Apply(orig, rng)
+		if vals[comp] == orig {
+			continue
+		}
+		for i := 0; i < p; i++ {
+			if nb.x == cx && nb.y == cy && nb.z == cz && i == j {
+				continue
+			}
+			xi, yi, zi, _ := k.particle(cx, cy, cz, i)
+			old := interaction(xi, yi, zi, xj, yj, zj, qj)
+			new_ := interaction(xi, yi, zi, vals[0], vals[1], vals[2], vals[3])
+			r.adjust(cx, cy, cz, i, new_-old)
+		}
+	}
+}
+
+// injectTaskSet mis-executes whole boxes: a corrupted scheduler entry
+// either never launches a box (zero potentials) or launches it against a
+// displaced neighbourhood.
+func (k *Kernel) injectTaskSet(r *run, inj arch.Injection, rng *xrand.RNG) {
+	p := r.p
+	g := k.g
+	for t := 0; t < inj.Tasks; t++ {
+		bx, by, bz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
+		if rng.Bool(0.5) {
+			for i := 0; i < p; i++ {
+				r.set(bx, by, bz, i, 0)
+			}
+			continue
+		}
+		// Displaced neighbourhood: the box computes as if it sat one box
+		// over in x, so every particle sees a shifted particle set.
+		sx := (bx + 1) % g
+		for i := 0; i < p; i++ {
+			xi, yi, zi, _ := k.particle(bx, by, bz, i)
+			var v float64
+			k.neighbors(sx, by, bz, func(nx, ny, nz int) {
+				for j := 0; j < p; j++ {
+					if nx == bx && ny == by && nz == bz && j == i {
+						continue
+					}
+					xj, yj, zj, qj := k.particle(nx, ny, nz, j)
+					v += interaction(xi, yi, zi, xj, yj, zj, qj)
+				}
+			})
+			r.set(bx, by, bz, i, v)
+		}
+	}
+}
+
+// alignedStart picks a line-aligned start index within [0, n).
+func alignedStart(rng *xrand.RNG, n, words int) int {
+	if words <= 0 {
+		words = 1
+	}
+	slots := n / words
+	if slots < 1 {
+		return 0
+	}
+	return rng.Intn(slots) * words
+}

@@ -1,0 +1,250 @@
+// Package logdata reads and writes campaign logs in a CAROL-style text
+// format, mirroring the public log repository the paper releases for
+// third-party re-analysis ("we made available all our corrupted outputs in
+// a publicly accessible repository so to allow users to apply different
+// filters", §III). Every corrupted element is logged with exact (hex
+// float) values so any relative-error filter can be re-applied offline.
+package logdata
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/grid"
+	"radcrit/internal/metrics"
+)
+
+// Event is one non-masked irradiated execution.
+type Event struct {
+	// Class is SDC, Crash or Hang (masked runs are not logged
+	// individually, as in the real campaigns).
+	Class fault.OutcomeClass
+	// Exec is the execution index within the campaign.
+	Exec int
+	// Resource is the struck resource name.
+	Resource string
+	// Scope is the injection scope name (empty for crash/hang).
+	Scope string
+	// Mismatches lists corrupted elements (SDC only).
+	Mismatches []metrics.Mismatch
+}
+
+// Log is one campaign's record.
+type Log struct {
+	Device     string
+	Kernel     string
+	Input      string
+	Facility   string
+	Seed       uint64
+	Executions int
+	BeamHours  float64
+	OutputDims grid.Dims
+	Events     []Event
+}
+
+// SDCCount returns the number of SDC events.
+func (l *Log) SDCCount() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Class == fault.SDC {
+			n++
+		}
+	}
+	return n
+}
+
+// CrashHangCount returns the number of crash plus hang events.
+func (l *Log) CrashHangCount() int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Class == fault.Crash || e.Class == fault.Hang {
+			n++
+		}
+	}
+	return n
+}
+
+// Reports reconstructs the per-SDC mismatch reports, onto which any
+// relative-error filter can be re-applied.
+func (l *Log) Reports() []*metrics.Report {
+	var reps []*metrics.Report
+	for _, e := range l.Events {
+		if e.Class != fault.SDC {
+			continue
+		}
+		reps = append(reps, &metrics.Report{
+			Dims:          l.OutputDims,
+			TotalElements: l.OutputDims.Len(),
+			Mismatches:    e.Mismatches,
+		})
+	}
+	return reps
+}
+
+// Write serialises the log. Float values use Go hex-float formatting for
+// bit-exact round trips.
+func Write(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#HEADER device:%s kernel:%s input:%s facility:%s seed:%d dims:%d,%d,%d\n",
+		field(l.Device), field(l.Kernel), field(l.Input), field(l.Facility),
+		l.Seed, l.OutputDims.X, l.OutputDims.Y, l.OutputDims.Z)
+	fmt.Fprintf(bw, "#BEGIN executions:%d beam_hours:%s\n",
+		l.Executions, strconv.FormatFloat(l.BeamHours, 'x', -1, 64))
+	for _, e := range l.Events {
+		switch e.Class {
+		case fault.SDC:
+			fmt.Fprintf(bw, "#SDC exec:%d resource:%s scope:%s count:%d\n",
+				e.Exec, field(e.Resource), field(e.Scope), len(e.Mismatches))
+			for _, m := range e.Mismatches {
+				fmt.Fprintf(bw, "#ERR x:%d y:%d z:%d read:%s expected:%s\n",
+					m.Coord.X, m.Coord.Y, m.Coord.Z,
+					strconv.FormatFloat(m.Read, 'x', -1, 64),
+					strconv.FormatFloat(m.Expected, 'x', -1, 64))
+			}
+		case fault.Crash:
+			fmt.Fprintf(bw, "#CRASH exec:%d resource:%s\n", e.Exec, field(e.Resource))
+		case fault.Hang:
+			fmt.Fprintf(bw, "#HANG exec:%d resource:%s\n", e.Exec, field(e.Resource))
+		}
+	}
+	fmt.Fprintf(bw, "#END sdc:%d due:%d\n", l.SDCCount(), l.CrashHangCount())
+	return bw.Flush()
+}
+
+// field sanitises a free-text field for the space-separated format.
+func field(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return strings.ReplaceAll(s, " ", "_")
+}
+
+func unfield(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// Parse reads a log written by Write.
+func Parse(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	l := &Log{}
+	var cur *Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		tag, kv, err := splitLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("logdata: line %d: %v", lineNo, err)
+		}
+		switch tag {
+		case "#HEADER":
+			l.Device = unfield(kv["device"])
+			l.Kernel = unfield(kv["kernel"])
+			l.Input = unfield(kv["input"])
+			l.Facility = unfield(kv["facility"])
+			l.Seed, err = strconv.ParseUint(kv["seed"], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("logdata: line %d: bad seed: %v", lineNo, err)
+			}
+			if l.OutputDims, err = parseDims(kv["dims"]); err != nil {
+				return nil, fmt.Errorf("logdata: line %d: %v", lineNo, err)
+			}
+		case "#BEGIN":
+			if l.Executions, err = strconv.Atoi(kv["executions"]); err != nil {
+				return nil, fmt.Errorf("logdata: line %d: bad executions: %v", lineNo, err)
+			}
+			if l.BeamHours, err = strconv.ParseFloat(kv["beam_hours"], 64); err != nil {
+				return nil, fmt.Errorf("logdata: line %d: bad beam_hours: %v", lineNo, err)
+			}
+		case "#SDC":
+			l.Events = append(l.Events, Event{Class: fault.SDC,
+				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"]), Scope: unfield(kv["scope"])})
+			cur = &l.Events[len(l.Events)-1]
+		case "#ERR":
+			if cur == nil || cur.Class != fault.SDC {
+				return nil, fmt.Errorf("logdata: line %d: #ERR outside #SDC", lineNo)
+			}
+			read, err1 := strconv.ParseFloat(kv["read"], 64)
+			exp, err2 := strconv.ParseFloat(kv["expected"], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("logdata: line %d: bad float", lineNo)
+			}
+			cur.Mismatches = append(cur.Mismatches, metrics.Mismatch{
+				Coord:     grid.Coord{X: atoi(kv["x"]), Y: atoi(kv["y"]), Z: atoi(kv["z"])},
+				Read:      read,
+				Expected:  exp,
+				RelErrPct: metrics.RelativeErrorPct(read, exp),
+			})
+		case "#CRASH":
+			l.Events = append(l.Events, Event{Class: fault.Crash,
+				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"])})
+			cur = nil
+		case "#HANG":
+			l.Events = append(l.Events, Event{Class: fault.Hang,
+				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"])})
+			cur = nil
+		case "#END":
+			// Consistency check against the trailer counts.
+			if atoi(kv["sdc"]) != l.SDCCount() || atoi(kv["due"]) != l.CrashHangCount() {
+				return nil, fmt.Errorf("logdata: trailer counts disagree with body")
+			}
+		default:
+			return nil, fmt.Errorf("logdata: line %d: unknown tag %q", lineNo, tag)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("logdata: %v", err)
+	}
+	return l, nil
+}
+
+func splitLine(line string) (tag string, kv map[string]string, err error) {
+	parts := strings.Fields(line)
+	if len(parts) == 0 || !strings.HasPrefix(parts[0], "#") {
+		return "", nil, fmt.Errorf("malformed line %q", line)
+	}
+	kv = make(map[string]string, len(parts)-1)
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, ":")
+		if !ok {
+			return "", nil, fmt.Errorf("malformed field %q", p)
+		}
+		kv[k] = v
+	}
+	return parts[0], kv, nil
+}
+
+func parseDims(s string) (grid.Dims, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return grid.Dims{}, fmt.Errorf("bad dims %q", s)
+	}
+	var d grid.Dims
+	var err error
+	if d.X, err = strconv.Atoi(parts[0]); err != nil {
+		return d, err
+	}
+	if d.Y, err = strconv.Atoi(parts[1]); err != nil {
+		return d, err
+	}
+	if d.Z, err = strconv.Atoi(parts[2]); err != nil {
+		return d, err
+	}
+	return d, nil
+}
+
+func atoi(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}

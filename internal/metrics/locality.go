@@ -1,0 +1,119 @@
+package metrics
+
+import "radcrit/internal/grid"
+
+// Pattern is the spatial-locality class of a set of corrupted elements
+// (paper §III). "When several elements are corrupted, but they do not share
+// the same position in one of the axis, they are tagged as random errors.
+// When the corrupted elements share one, two, or three dimensions of the
+// axis we classify them as line, square, or cubic respectively."
+type Pattern int
+
+const (
+	// NoPattern means no corrupted elements (masked execution).
+	NoPattern Pattern = iota
+	// Single is exactly one corrupted element.
+	Single
+	// Line is multiple corrupted elements varying along exactly one axis.
+	Line
+	// Square is multiple corrupted elements spreading over two axes.
+	Square
+	// Cubic is multiple corrupted elements spreading over three axes.
+	Cubic
+	// Random is multiple corrupted elements where no two elements share a
+	// position on any axis — an unstructured scatter.
+	Random
+)
+
+// String returns the pattern name as used in the paper's figures.
+func (p Pattern) String() string {
+	switch p {
+	case NoPattern:
+		return "none"
+	case Single:
+		return "single"
+	case Line:
+		return "line"
+	case Square:
+		return "square"
+	case Cubic:
+		return "cubic"
+	case Random:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Patterns lists all error-producing patterns in figure order.
+var Patterns = []Pattern{Cubic, Square, Line, Single, Random}
+
+// Classify returns the spatial-locality class of coords inside an output of
+// shape dims.
+//
+// The decision procedure, matching the paper's prose:
+//
+//   - 0 elements → NoPattern; 1 element → Single.
+//   - If the elements vary along exactly one axis they form a Line.
+//   - Otherwise, if no two elements share a coordinate on any varying axis,
+//     the scatter is Random.
+//   - Otherwise the elements share axis positions while spreading over two
+//     (Square) or three (Cubic) axes.
+func Classify(dims grid.Dims, coords []grid.Coord) Pattern {
+	switch len(coords) {
+	case 0:
+		return NoPattern
+	case 1:
+		return Single
+	}
+
+	distinctX := distinctCount(coords, func(c grid.Coord) int { return c.X })
+	distinctY := distinctCount(coords, func(c grid.Coord) int { return c.Y })
+	distinctZ := distinctCount(coords, func(c grid.Coord) int { return c.Z })
+
+	varying := 0
+	for _, d := range []int{distinctX, distinctY, distinctZ} {
+		if d > 1 {
+			varying++
+		}
+	}
+
+	switch varying {
+	case 0:
+		// All coordinates identical yet len > 1 cannot happen for a set of
+		// distinct mismatch positions; defensively call it Single.
+		return Single
+	case 1:
+		return Line
+	}
+
+	// Spread over 2 or 3 axes: distinguish structured (square/cubic) from
+	// random scatter. A scatter is random when no axis position repeats:
+	// every varying axis has as many distinct values as elements.
+	n := len(coords)
+	isRandom := true
+	if distinctX > 1 && distinctX < n {
+		isRandom = false
+	}
+	if distinctY > 1 && distinctY < n {
+		isRandom = false
+	}
+	if distinctZ > 1 && distinctZ < n {
+		isRandom = false
+	}
+	if isRandom {
+		return Random
+	}
+	if varying == 2 {
+		return Square
+	}
+	return Cubic
+}
+
+func distinctCount(coords []grid.Coord, axis func(grid.Coord) int) int {
+	seen := make(map[int]struct{}, len(coords))
+	for _, c := range coords {
+		seen[axis(c)] = struct{}{}
+	}
+	return len(seen)
+}

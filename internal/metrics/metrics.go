@@ -1,0 +1,193 @@
+// Package metrics implements the paper's error-criticality metrics (§III):
+//
+//  1. number of incorrect elements — how many output elements differ from
+//     the fault-free ("golden") output;
+//  2. relative error — |read-expected| / |expected| × 100 per element;
+//  3. mean relative error — the average of (2) over all corrupted elements
+//     of one execution;
+//  4. spatial locality — the geometric pattern of the corrupted elements
+//     (single, line, square, cubic, or random).
+//
+// The relative-error threshold filter (default 2%, §III) removes mismatches
+// that an imprecise-computing consumer would accept as correct; executions
+// with no mismatch left after filtering are no longer counted as SDCs.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"radcrit/internal/grid"
+)
+
+// DefaultThresholdPct is the paper's conservative relative-error filter.
+const DefaultThresholdPct = 2.0
+
+// InfiniteRelErr is the relative error assigned when the expected value is
+// exactly zero but the read value is not: the discrepancy cannot be
+// expressed as a percentage, so it is treated as larger than any threshold.
+const InfiniteRelErr = math.MaxFloat64
+
+// RelativeErrorPct returns |read-expected|/|expected| in percent.
+// If expected is 0 and read is not, it returns InfiniteRelErr.
+// NaN or infinite reads are treated as maximally wrong.
+func RelativeErrorPct(read, expected float64) float64 {
+	if read == expected {
+		return 0
+	}
+	if math.IsNaN(read) || math.IsInf(read, 0) {
+		return InfiniteRelErr
+	}
+	if expected == 0 {
+		return InfiniteRelErr
+	}
+	return math.Abs(read-expected) / math.Abs(expected) * 100
+}
+
+// Mismatch is one corrupted output element.
+type Mismatch struct {
+	Coord     grid.Coord
+	Read      float64
+	Expected  float64
+	RelErrPct float64
+}
+
+// Report holds the criticality metrics of one execution's output against
+// its golden output.
+type Report struct {
+	// Dims is the shape of the compared output.
+	Dims grid.Dims
+	// TotalElements is the number of output elements compared.
+	TotalElements int
+	// Mismatches lists every corrupted element.
+	Mismatches []Mismatch
+	// ThresholdPct is the relative-error filter already applied to
+	// Mismatches (0 means unfiltered).
+	ThresholdPct float64
+}
+
+// Evaluate compares observed against golden and returns the unfiltered
+// report. It panics if the shapes differ — comparing different experiments
+// is a caller bug, not a data condition.
+func Evaluate(golden, observed *grid.Grid) *Report {
+	if golden.Dims() != observed.Dims() {
+		panic("metrics: Evaluate on grids of different shapes")
+	}
+	r := &Report{Dims: golden.Dims(), TotalElements: golden.Len()}
+	gd, od := golden.Data(), observed.Data()
+	for i := range gd {
+		if gd[i] == od[i] {
+			continue
+		}
+		r.Mismatches = append(r.Mismatches, Mismatch{
+			Coord:     golden.CoordOf(i),
+			Read:      od[i],
+			Expected:  gd[i],
+			RelErrPct: RelativeErrorPct(od[i], gd[i]),
+		})
+	}
+	return r
+}
+
+// Count returns the number of incorrect elements (metric 1).
+func (r *Report) Count() int { return len(r.Mismatches) }
+
+// IsSDC reports whether the execution shows any corruption under the
+// report's current filter.
+func (r *Report) IsSDC() bool { return len(r.Mismatches) > 0 }
+
+// MeanRelErrPct returns the mean relative error (metric 3) in percent.
+// Elements with unrepresentable (infinite) relative error are capped at
+// cap before averaging; pass math.Inf(1) to disable capping. The paper's
+// figures cap at 100% (DGEMM) or 20,000% (LavaMD) for readability.
+func (r *Report) MeanRelErrPct(cap float64) float64 {
+	if len(r.Mismatches) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range r.Mismatches {
+		e := m.RelErrPct
+		if e > cap {
+			e = cap
+		}
+		sum += e
+	}
+	return sum / float64(len(r.Mismatches))
+}
+
+// MaxRelErrPct returns the largest per-element relative error.
+func (r *Report) MaxRelErrPct() float64 {
+	var mx float64
+	for _, m := range r.Mismatches {
+		if m.RelErrPct > mx {
+			mx = m.RelErrPct
+		}
+	}
+	return mx
+}
+
+// MinRelErrPct returns the smallest per-element relative error, or 0 when
+// there are no mismatches.
+func (r *Report) MinRelErrPct() float64 {
+	if len(r.Mismatches) == 0 {
+		return 0
+	}
+	mn := math.Inf(1)
+	for _, m := range r.Mismatches {
+		if m.RelErrPct < mn {
+			mn = m.RelErrPct
+		}
+	}
+	return mn
+}
+
+// Filter returns a new report keeping only mismatches with relative error
+// strictly greater than thresholdPct (§III: "we ignore all incorrect
+// elements whose relative error is lower than 2%"). The receiver is not
+// modified, so different consumers can apply different filters to the same
+// logged execution.
+func (r *Report) Filter(thresholdPct float64) *Report {
+	out := &Report{
+		Dims:          r.Dims,
+		TotalElements: r.TotalElements,
+		ThresholdPct:  thresholdPct,
+	}
+	for _, m := range r.Mismatches {
+		if m.RelErrPct > thresholdPct {
+			out.Mismatches = append(out.Mismatches, m)
+		}
+	}
+	return out
+}
+
+// CorruptedFraction returns the fraction of output elements corrupted.
+func (r *Report) CorruptedFraction() float64 {
+	if r.TotalElements == 0 {
+		return 0
+	}
+	return float64(len(r.Mismatches)) / float64(r.TotalElements)
+}
+
+// Coords returns the coordinates of all mismatches.
+func (r *Report) Coords() []grid.Coord {
+	cs := make([]grid.Coord, len(r.Mismatches))
+	for i, m := range r.Mismatches {
+		cs[i] = m.Coord
+	}
+	return cs
+}
+
+// Locality classifies the spatial pattern of the mismatches (metric 4).
+func (r *Report) Locality() Pattern {
+	return Classify(r.Dims, r.Coords())
+}
+
+// RelErrsPct returns the per-element relative errors, sorted ascending.
+func (r *Report) RelErrsPct() []float64 {
+	es := make([]float64, len(r.Mismatches))
+	for i, m := range r.Mismatches {
+		es[i] = m.RelErrPct
+	}
+	sort.Float64s(es)
+	return es
+}

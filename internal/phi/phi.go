@@ -1,0 +1,102 @@
+// Package phi provides the behavioural model of the Intel Xeon Phi 3120A
+// (Knights Corner) coprocessor used in the paper's beam campaigns.
+//
+// Parameter provenance (paper §IV-A and Intel's KNC system software guide):
+//
+//   - 22 nm Intel Tri-Gate (3-D) transistors: ~10x lower per-bit neutron
+//     sensitivity than planar devices [28], modelled as a 0.1 storage and
+//     0.15 logic sensitivity relative to the K40's planar baseline.
+//   - 57 in-order physical cores with 4 hardware threads each and 32
+//     512-bit vector registers per core (≈530 KB of architectural vector
+//     state, unprotected).
+//   - 64 KB L1 per core and 512 KB private-but-coherent L2 per core
+//     (3648 KB / 29184 KB totals) on a bidirectional ring; 64-byte lines.
+//     The large coherent L2 keeps (possibly corrupted) data resident far
+//     longer than the K40's small L2, so one upset poisons several
+//     distinct cache lines before eviction — the paper's explanation for
+//     the Phi's higher incorrect-element counts (§V-E).
+//   - Software scheduling by an embedded Linux OS whose run queues live in
+//     DRAM (not irradiated): no strain growth with thread count
+//     (§V-A (1)), and a scheduler strike that is not masked usually
+//     crashes or hangs the card rather than silently mis-scheduling.
+//   - No separate transcendental unit: SFU area is zero and vector-unit
+//     strikes corrupt up to 8 adjacent 64-bit lanes.
+//
+// Datapath strikes use a high-magnitude flip distribution (exponent and
+// high-mantissa biased): results transit wide vector registers where they
+// stay exposed for whole loop iterations, and the paper observes that
+// "almost all the corrupted elements are extremely different from the
+// expected value" for DGEMM on the Phi (§V-A). Cached data are mostly
+// output blocks resident in the private L2 (CacheOutputBias 0.75).
+package phi
+
+import (
+	"radcrit/internal/arch"
+	"radcrit/internal/fault"
+	"radcrit/internal/floatbits"
+)
+
+// New returns the Xeon Phi 3120A device model.
+func New() *arch.Model {
+	return &arch.Model{
+		DeviceName: "Intel Xeon Phi 3120A (Knights Corner)",
+		Short:      "XeonPhi",
+		TechNode:   "22nm Tri-Gate (Intel)",
+
+		StorageSensitivity: 0.04,
+		LogicSensitivity:   0.12,
+
+		NumCores:           57,
+		HWThreadsPerCore:   4,
+		RegisterFileKB:     530, // 57 cores x 4 threads x 32 x 64B vector regs
+		SharedMemKBPerCore: 0,
+		L1KBPerCore:        64,
+		L2KBTotal:          29184,
+		CacheLineBytes:     64,
+		VectorWidthBits:    512,
+
+		ECCRegisterFile:   false,
+		ECCEscapeProb:     0,
+		HardwareScheduler: false,
+
+		FPUAreaAU:       520,
+		SFUAreaAU:       0,
+		VectorAreaAU:    640,
+		SchedulerAreaAU: 200,
+		DispatchAreaAU:  520,
+		ControlAreaAU:   640,
+		ICacheAreaAU:    360,
+
+		ControlFloor:           0.50,
+		L2SharingDegree:        4.5,
+		SchedStrainAt64K:       0.80,
+		SchedStrainExponent:    1.0,
+		RFResidencyPerKWaiting: 0,
+		CacheOutputBias:        0.75,
+
+		DatapathFlip: arch.FlipDist{
+			Specs: []fault.FlipSpec{
+				{Field: floatbits.Exponent, Bits: 1},
+				{Field: floatbits.HighMantissa, Bits: 1},
+				{Field: floatbits.AnyField, Bits: 1},
+				{Field: floatbits.Sign, Bits: 1},
+			},
+			Weights: []float64{0.40, 0.25, 0.25, 0.10},
+		},
+		StorageFlip: arch.FlipDist{
+			Specs: []fault.FlipSpec{
+				{Field: floatbits.AnyField, Bits: 1},
+				{Field: floatbits.AnyField, Bits: 2},
+			},
+			Weights: []float64{0.85, 0.15},
+		},
+		RFEscapeFlip: arch.FlipDist{
+			Specs: []fault.FlipSpec{
+				{Field: floatbits.AnyField, Bits: 1},
+			},
+			Weights: []float64{1},
+		},
+
+		FPUScope: arch.ScopeOutputWord,
+	}
+}

@@ -1,0 +1,112 @@
+// Calibration tests pinning the Xeon Phi model to the paper's §V shape
+// targets at the analytic (expectation) level.
+package phi
+
+import (
+	"testing"
+
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/lavamd"
+)
+
+func TestValidModel(t *testing.T) {
+	m := New()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ShortName() != "XeonPhi" {
+		t.Fatal("short name")
+	}
+	if m.HardwareScheduler {
+		t.Fatal("the Phi schedules in software")
+	}
+	if m.VectorWidthBits != 512 {
+		t.Fatal("KNC vector registers are 512-bit")
+	}
+	if m.SFUAreaAU != 0 {
+		t.Fatal("the Phi has no dedicated transcendental unit in this model")
+	}
+}
+
+func TestInventoryMatchesPaper(t *testing.T) {
+	m := New()
+	if m.NumCores != 57 || m.HWThreadsPerCore != 4 {
+		t.Fatal("core inventory wrong (57 cores x 4 threads, §IV-A)")
+	}
+	if m.L1KBPerCore != 64 || m.L2KBTotal != 29184 {
+		t.Fatal("cache inventory wrong (64 KB L1/core, 29184 KB L2 total)")
+	}
+}
+
+func TestTriGateLowerSensitivity(t *testing.T) {
+	// §IV-A / [28]: 3-D transistors show ~10x lower per-bit sensitivity.
+	phiM := New()
+	k40M := k40.New()
+	if phiM.StorageSensitivity > k40M.StorageSensitivity/5 {
+		t.Fatalf("Phi storage sensitivity %v not well below K40's %v",
+			phiM.StorageSensitivity, k40M.StorageSensitivity)
+	}
+}
+
+// §V-A: Phi DGEMM FIT grows only ~1.8x across the input sweep, and the
+// SDC:DUE ratio stays ~4x "independently on the input".
+func TestDGEMMScalingShape(t *testing.T) {
+	dev := New()
+	sizes := []int{1024, 2048, 4096, 8192}
+	var fits, ratios []float64
+	for _, n := range sizes {
+		p := dgemm.New(n).Profile(dev)
+		_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+		fits = append(fits, sdc*dev.SensitiveArea(p))
+		ratios = append(ratios, sdc/(crash+hang))
+	}
+	growth := fits[3] / fits[0]
+	if growth < 1.3 || growth > 3 {
+		t.Fatalf("Phi DGEMM FIT growth %.2fx outside the ~1.8x band", growth)
+	}
+	for i, r := range ratios {
+		if r < 3 || r > 7 {
+			t.Fatalf("Phi DGEMM SDC:DUE at size %d = %.2f outside the ~4 flat band", sizes[i], r)
+		}
+	}
+	// Flatness: max/min within 1.6x.
+	if ratios[0]/ratios[3] > 1.6 || ratios[3]/ratios[0] > 1.6 {
+		t.Fatalf("Phi DGEMM ratio not flat: %v", ratios)
+	}
+}
+
+// §V: Phi LavaMD SDC:DUE grows with input size (3x -> 12x in the paper).
+func TestLavaMDRatioGrows(t *testing.T) {
+	dev := New()
+	var ratios []float64
+	for _, g := range []int{13, 23} {
+		p := lavamd.New(g).Profile(dev)
+		_, sdc, crash, hang := dev.Model().ExpectedRates(p)
+		ratios = append(ratios, sdc/(crash+hang))
+	}
+	if ratios[1] <= ratios[0]*1.3 {
+		t.Fatalf("Phi LavaMD ratio should grow markedly with input: %v", ratios)
+	}
+	if ratios[0] < 2 || ratios[0] > 5 {
+		t.Fatalf("Phi LavaMD small-input ratio %.2f outside the ~3 band", ratios[0])
+	}
+}
+
+// Fig. 3: even with K40-favouring 2% tolerance applied, the K40's DGEMM
+// error rate sits well above the Phi's (different technology nodes).
+func TestDGEMMFITBelowK40(t *testing.T) {
+	phiDev := New()
+	k40Dev := k40.New()
+	for _, n := range []int{1024, 4096} {
+		pPhi := dgemm.New(n).Profile(phiDev)
+		pK40 := dgemm.New(n).Profile(k40Dev)
+		_, sdcPhi, _, _ := phiDev.Model().ExpectedRates(pPhi)
+		_, sdcK40, _, _ := k40Dev.Model().ExpectedRates(pK40)
+		fitPhi := sdcPhi * phiDev.SensitiveArea(pPhi)
+		fitK40 := sdcK40 * k40Dev.SensitiveArea(pK40)
+		if fitK40 < 2*fitPhi {
+			t.Fatalf("size %d: K40 FIT %.0f not well above Phi FIT %.0f", n, fitK40, fitPhi)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package report renders campaign data as terminal artifacts: aligned
+// tables, ASCII scatter plots (Figures 2/4/6/8), stacked FIT bars
+// (Figures 3/5/7) and 2D locality maps (Figure 9). Everything writes to an
+// io.Writer so cmd/figures, tests and examples share the renderers.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/fit"
+)
+
+// Table renders rows with aligned columns.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Scatter renders a Figure-2/4/6/8 style plot: x = incorrect elements,
+// y = mean relative error, one glyph per input-size series.
+func Scatter(w io.Writer, s campaign.ScatterSeries, width, height int) {
+	fmt.Fprintf(w, "%s %s — mean relative error vs. incorrect elements\n", s.Device, s.Kernel)
+	if s.CapPct > 0 {
+		fmt.Fprintf(w, "(per-element relative errors capped at %.0f%% for display)\n", s.CapPct)
+	}
+
+	var maxX float64 = 1
+	var maxY float64 = 1
+	total := 0
+	for _, series := range s.Series {
+		for _, p := range series.Points {
+			maxX = math.Max(maxX, float64(p.IncorrectElements))
+			maxY = math.Max(maxY, p.MeanRelErrPct)
+			total++
+		}
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "(no SDCs observed)")
+		return
+	}
+
+	glyphs := []byte{'o', '+', 'x', '*', '#', '@'}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, series := range s.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range series.Points {
+			cx := int(float64(p.IncorrectElements) / maxX * float64(width-1))
+			cy := height - 1 - int(p.MeanRelErrPct/maxY*float64(height-1))
+			if cy < 0 {
+				cy = 0
+			}
+			canvas[cy][cx] = g
+		}
+	}
+	for i, row := range canvas {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.1f ", maxY)
+		}
+		if i == height-1 {
+			label = "    0.0 "
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "        0%s%d elements\n", strings.Repeat(" ", width-len(fmt.Sprint(int(maxX)))-9), int(maxX))
+	for si, series := range s.Series {
+		fmt.Fprintf(w, "  %c = input %s (%d SDCs)\n", glyphs[si%len(glyphs)], series.Label, len(series.Points))
+	}
+}
+
+// LocalityBars renders a Figure-3/5/7 style stacked-bar chart: one pair of
+// bars (All, >threshold) per input size, stacked by spatial pattern.
+func LocalityBars(w io.Writer, f campaign.LocalityFigure, width int) {
+	fmt.Fprintf(w, "%s %s — FIT [a.u.] by spatial locality (All vs >%.0f%%)\n",
+		f.Device, f.Kernel, f.ThresholdPct)
+
+	var maxTotal float64
+	for _, b := range f.Bars {
+		maxTotal = math.Max(maxTotal, b.All.Total())
+	}
+	if maxTotal == 0 {
+		fmt.Fprintln(w, "(no SDC FIT observed)")
+		return
+	}
+	norm := fit.NewNormalizer(maxTotal, 100) // largest bar = 100 a.u.
+
+	segGlyph := map[string]byte{
+		"cubic": 'C', "square": 'S', "line": 'L', "single": '1', "random": 'R',
+	}
+	renderBar := func(label string, bd fit.Breakdown) {
+		var sb strings.Builder
+		for i, v := range bd.Values {
+			n := int(norm.Apply(v) / 100 * float64(width))
+			g := segGlyph[bd.Labels[i]]
+			sb.WriteString(strings.Repeat(string(g), n))
+		}
+		fmt.Fprintf(w, "  %-18s |%-*s| %6.1f a.u.\n", label, width, sb.String(), norm.Apply(bd.Total()))
+	}
+	for _, b := range f.Bars {
+		renderBar(b.Input+" All", b.All)
+		if b.FilterMeaningful {
+			renderBar(fmt.Sprintf("%s >%.0f%%", b.Input, f.ThresholdPct), b.Filtered)
+		} else {
+			fmt.Fprintf(w, "  %-18s (no mismatch below the filter: bar identical to All)\n",
+				fmt.Sprintf("%s >%.0f%%", b.Input, f.ThresholdPct))
+		}
+	}
+	fmt.Fprintln(w, "  legend: C cubic, S square, L line, 1 single, R random")
+}
+
+// LocalityMap renders Figure 9: the 2D positions of corrupted elements.
+func LocalityMap(w io.Writer, m campaign.LocalityMap, cols int) {
+	fmt.Fprintf(w, "CLAMR error locality map (%d incorrect elements of %dx%d output)\n",
+		m.Count, m.Width, m.Height)
+	if m.Count == 0 {
+		fmt.Fprintln(w, "(no SDC found)")
+		return
+	}
+	if cols > m.Width {
+		cols = m.Width // cannot render finer than the data
+	}
+	rows := cols * m.Height / m.Width
+	if rows < 1 {
+		rows = 1
+	}
+	for ry := 0; ry < rows; ry++ {
+		var sb strings.Builder
+		for rx := 0; rx < cols; rx++ {
+			x0, x1 := rx*m.Width/cols, (rx+1)*m.Width/cols
+			y0, y1 := ry*m.Height/rows, (ry+1)*m.Height/rows
+			marked := false
+			for y := y0; y < y1 && !marked; y++ {
+				for x := x0; x < x1; x++ {
+					if m.Marked[y][x] {
+						marked = true
+						break
+					}
+				}
+			}
+			if marked {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		fmt.Fprintf(w, "  %s\n", sb.String())
+	}
+}
+
+// Ratios renders the §V preamble SDC:DUE table.
+func Ratios(w io.Writer, rows []campaign.RatioRow) {
+	t := &Table{Header: []string{"device", "kernel", "input", "SDC", "crash+hang", "SDC:DUE"}}
+	for _, r := range rows {
+		t.Add(r.Device, r.Kernel, r.Input, fmt.Sprint(r.SDC), fmt.Sprint(r.DUE),
+			fmt.Sprintf("%.2f", r.Ratio))
+	}
+	t.Render(w)
+}
+
+// Scaling renders the input-size FIT growth table (§V-A).
+func Scaling(w io.Writer, rows []campaign.ScalingRow) {
+	t := &Table{Header: []string{"device", "input", "FIT all [a.u.]", "FIT >2% [a.u.]", "growth all", "growth >2%"}}
+	var norm *fit.Normalizer
+	for _, r := range rows {
+		if norm == nil {
+			norm = fit.NewNormalizer(r.FITAll, 1)
+		}
+		t.Add(r.Device, r.Input,
+			fmt.Sprintf("%.2f", norm.Apply(r.FITAll)),
+			fmt.Sprintf("%.2f", norm.Apply(r.FITFiltered)),
+			fmt.Sprintf("%.2fx", r.GrowthAll),
+			fmt.Sprintf("%.2fx", r.GrowthFilter))
+	}
+	t.Render(w)
+}
+
+// ABFT renders the ABFT coverage table (§V-A).
+func ABFT(w io.Writer, rows []campaign.ABFTRow) {
+	t := &Table{Header: []string{"device", "input", "ABFT-correctable", "residual (square+random)"}}
+	for _, r := range rows {
+		t.Add(r.Device, r.Input,
+			fmt.Sprintf("%.0f%%", 100*r.CorrectableFraction),
+			fmt.Sprintf("%.0f%%", 100*r.ResidualFraction))
+	}
+	t.Render(w)
+}
+
+// MassCheck renders the CLAMR detector coverage (§V-D).
+func MassCheck(w io.Writer, r campaign.MassCheckRow) {
+	fmt.Fprintf(w, "CLAMR mass-conservation check on %s: %d/%d critical SDCs detected (%.0f%% coverage; paper reports 82%%)\n",
+		r.Device, r.Detected, r.CriticalSDCs, 100*r.Coverage)
+}

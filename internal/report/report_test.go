@@ -1,0 +1,172 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/fit"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"a", "longheader"}}
+	tb.Add("xxxx", "y")
+	tb.Add("z", "w")
+	var sb strings.Builder
+	tb.Render(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatal("separator missing")
+	}
+}
+
+func TestScatterRendering(t *testing.T) {
+	s := campaign.ScatterSeries{
+		Device: "K40", Kernel: "DGEMM", CapPct: 100,
+		Series: []campaign.LabeledPoints{
+			{Label: "1024x1024", Points: []campaign.ScatterPoint{
+				{IncorrectElements: 10, MeanRelErrPct: 5},
+				{IncorrectElements: 500, MeanRelErrPct: 80},
+			}},
+		},
+	}
+	var sb strings.Builder
+	Scatter(&sb, s, 40, 10)
+	out := sb.String()
+	for _, want := range []string{"K40 DGEMM", "capped at 100%", "o = input 1024x1024 (2 SDCs)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("no glyphs plotted")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	var sb strings.Builder
+	Scatter(&sb, campaign.ScatterSeries{Device: "X", Kernel: "Y"}, 40, 10)
+	if !strings.Contains(sb.String(), "no SDCs") {
+		t.Fatal("empty scatter should say so")
+	}
+}
+
+func TestLocalityBarsRendering(t *testing.T) {
+	f := campaign.LocalityFigure{
+		Device: "K40", Kernel: "DGEMM", ThresholdPct: 2,
+		Bars: []campaign.LocalityBar{
+			{
+				Input: "1024x1024",
+				All: fit.Breakdown{
+					Labels: []string{"cubic", "square", "line", "single", "random"},
+					Values: []float64{0, 30, 40, 20, 10},
+				},
+				Filtered: fit.Breakdown{
+					Labels: []string{"cubic", "square", "line", "single", "random"},
+					Values: []float64{0, 25, 10, 5, 0},
+				},
+				FilterMeaningful: true,
+			},
+		},
+	}
+	var sb strings.Builder
+	LocalityBars(&sb, f, 50)
+	out := sb.String()
+	for _, want := range []string{"1024x1024 All", "1024x1024 >2%", "legend", "S", "L"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLocalityBarsNoFilterCase(t *testing.T) {
+	f := campaign.LocalityFigure{
+		Device: "XeonPhi", Kernel: "DGEMM", ThresholdPct: 2,
+		Bars: []campaign.LocalityBar{{
+			Input: "8192x8192",
+			All: fit.Breakdown{
+				Labels: []string{"cubic", "square", "line", "single", "random"},
+				Values: []float64{0, 5, 3, 1, 1},
+			},
+			Filtered: fit.Breakdown{
+				Labels: []string{"cubic", "square", "line", "single", "random"},
+				Values: []float64{0, 5, 3, 1, 1},
+			},
+			FilterMeaningful: false,
+		}},
+	}
+	var sb strings.Builder
+	LocalityBars(&sb, f, 50)
+	if !strings.Contains(sb.String(), "identical to All") {
+		t.Fatal("no-filter case not annotated (the paper shows only the All bar)")
+	}
+}
+
+func TestLocalityMapRendering(t *testing.T) {
+	m := campaign.LocalityMap{Width: 8, Height: 8, Count: 3}
+	m.Marked = make([][]bool, 8)
+	for i := range m.Marked {
+		m.Marked[i] = make([]bool, 8)
+	}
+	m.Marked[2][3] = true
+	m.Marked[2][4] = true
+	m.Marked[3][3] = true
+	var sb strings.Builder
+	LocalityMap(&sb, m, 8)
+	out := sb.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, ".") {
+		t.Fatalf("map glyphs missing:\n%s", out)
+	}
+}
+
+func TestLocalityMapClampsColumns(t *testing.T) {
+	// Rendering finer than the data (cols > width) must not drop marks
+	// into empty sample ranges.
+	m := campaign.LocalityMap{Width: 8, Height: 8, Count: 64}
+	m.Marked = make([][]bool, 8)
+	for y := range m.Marked {
+		m.Marked[y] = make([]bool, 8)
+		for x := range m.Marked[y] {
+			m.Marked[y][x] = true
+		}
+	}
+	var sb strings.Builder
+	LocalityMap(&sb, m, 64)
+	if strings.Contains(sb.String(), ".") {
+		t.Fatalf("fully marked map rendered gaps:\n%s", sb.String())
+	}
+}
+
+func TestRatiosAndScalingTables(t *testing.T) {
+	var sb strings.Builder
+	Ratios(&sb, []campaign.RatioRow{
+		{Device: "K40", Kernel: "DGEMM", Input: "1024x1024", SDC: 40, DUE: 10, Ratio: 4},
+	})
+	if !strings.Contains(sb.String(), "4.00") {
+		t.Fatal("ratio table wrong")
+	}
+	sb.Reset()
+	Scaling(&sb, []campaign.ScalingRow{
+		{Device: "K40", Input: "1024x1024", FITAll: 10, FITFiltered: 5, GrowthAll: 1, GrowthFilter: 1},
+		{Device: "K40", Input: "4096x4096", FITAll: 70, FITFiltered: 25, GrowthAll: 7, GrowthFilter: 5},
+	})
+	if !strings.Contains(sb.String(), "7.00x") {
+		t.Fatal("scaling table wrong")
+	}
+}
+
+func TestABFTAndMassCheck(t *testing.T) {
+	var sb strings.Builder
+	ABFT(&sb, []campaign.ABFTRow{{Device: "K40", Input: "1024x1024", CorrectableFraction: 0.7, ResidualFraction: 0.3}})
+	if !strings.Contains(sb.String(), "70%") {
+		t.Fatal("ABFT table wrong")
+	}
+	sb.Reset()
+	MassCheck(&sb, campaign.MassCheckRow{Device: "XeonPhi", CriticalSDCs: 100, Detected: 82, Coverage: 0.82})
+	if !strings.Contains(sb.String(), "82%") {
+		t.Fatal("mass check line wrong")
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	if !almostEqual(Variance(xs), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almostEqual(StdDev(xs), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of singleton != 0")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 || Sum(xs) != 12 {
+		t.Fatalf("Min/Max/Sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max not infinities")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+	if Median(xs) != 3 {
+		t.Fatal("Median wrong")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("interpolated percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !almostEqual(Pearson(xs, ys), 1, 1e-12) {
+		t.Fatal("perfect correlation not 1")
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !almostEqual(Pearson(xs, neg), -1, 1e-12) {
+		t.Fatal("perfect anticorrelation not -1")
+	}
+	if Pearson(xs, []float64{1, 1, 1, 1}) != 0 {
+		t.Fatal("zero-variance series should give 0")
+	}
+	if Pearson(xs, ys[:3]) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatal("zero trials should return (0,1)")
+	}
+	lo, hi = WilsonInterval(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval (%v,%v) should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval too wide for n=100: %v", hi-lo)
+	}
+	lo, hi = WilsonInterval(100, 100, 1.96)
+	if hi < 1-1e-9 {
+		t.Fatalf("all successes upper bound = %v", hi)
+	}
+	if lo < 0.9 {
+		t.Fatalf("all-successes lower bound too loose: %v", lo)
+	}
+}
+
+func TestWilsonIntervalProperty(t *testing.T) {
+	f := func(s, n uint16) bool {
+		trials := int(n%1000) + 1
+		successes := int(s) % (trials + 1)
+		lo, hi := WilsonInterval(successes, trials, 1.96)
+		p := float64(successes) / float64(trials)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Counts[i] != 1 {
+			t.Fatalf("bin %d count %d", i, h.Counts[i])
+		}
+		if !almostEqual(h.Fraction(i), 0.1, 1e-12) {
+			t.Fatalf("bin %d fraction %v", i, h.Fraction(i))
+		}
+	}
+	if !almostEqual(h.BinCenter(0), 0.5, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if !almostEqual(h.CDF(4), 0.5, 1e-12) {
+		t.Fatalf("CDF(4) = %v", h.CDF(4))
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(-100)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+	if h.N != 2 {
+		t.Fatal("N not tracked")
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	h.Add(1.5)
+	h.Add(1.5)
+	h.Add(0.5)
+	if h.Mode() != 1 {
+		t.Fatalf("Mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 5) },
+		func() { NewHistogram(2, 1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if h.Fraction(0) != 0 || h.CDF(1) != 0 {
+		t.Fatal("empty histogram fractions not 0")
+	}
+}

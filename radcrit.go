@@ -1,0 +1,181 @@
+// Package radcrit reproduces "Radiation-Induced Error Criticality in
+// Modern HPC Parallel Accelerators" (Oliveira et al., HPCA 2017) as a Go
+// library: behavioural models of the NVIDIA K40 and Intel Xeon Phi 3120A,
+// a neutron-beam campaign simulator substituting for LANSCE/ISIS beam
+// time, real implementations of the paper's four workloads (DGEMM,
+// LavaMD, HotSpot, and a from-scratch CLAMR-equivalent shallow-water AMR
+// solver), and the paper's error-criticality methodology: incorrect-
+// element counts, relative error, mean relative error and spatial
+// locality under an imprecise-computing tolerance filter.
+//
+// This package is the public facade; examples and the regeneration
+// commands use it exclusively. The heavy lifting lives in internal/
+// packages (one per subsystem, see DESIGN.md).
+//
+// Quick start:
+//
+//	dev := radcrit.K40()
+//	kern := radcrit.NewDGEMM(1024)
+//	res := radcrit.RunCampaign(dev, kern, radcrit.CampaignConfig(42, 500))
+//	crit := radcrit.Analyze(res.Reports, radcrit.DefaultAnalysisOptions())
+//	fmt.Println(crit)
+package radcrit
+
+import (
+	"io"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/campaign"
+	"radcrit/internal/core"
+	"radcrit/internal/harden"
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels"
+	"radcrit/internal/kernels/clamr"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/hotspot"
+	"radcrit/internal/kernels/lavamd"
+	"radcrit/internal/logdata"
+	"radcrit/internal/metrics"
+	"radcrit/internal/phi"
+	"radcrit/internal/report"
+)
+
+// Re-exported core types. Aliases keep the public surface thin while the
+// implementation stays in internal packages.
+type (
+	// Device is an accelerator model.
+	Device = arch.Device
+	// Kernel is one benchmark workload at one input configuration.
+	Kernel = kernels.Kernel
+	// Config controls a campaign's statistical weight.
+	Config = campaign.Config
+	// Result is one campaign cell's aggregated outcome.
+	Result = campaign.Result
+	// Report is one execution's output-mismatch report.
+	Report = metrics.Report
+	// Criticality is the aggregate criticality profile (the paper's §III
+	// methodology applied to a set of runs).
+	Criticality = core.Criticality
+	// AnalysisOptions configure the threshold filter and display caps.
+	AnalysisOptions = core.Options
+	// Log is the CAROL-style public campaign log.
+	Log = logdata.Log
+	// Scale selects paper-scale or test-scale experiment sizing.
+	Scale = campaign.Scale
+)
+
+// Experiment scales.
+const (
+	TestScale  = campaign.TestScale
+	PaperScale = campaign.PaperScale
+)
+
+// DefaultThresholdPct is the paper's conservative 2% relative-error filter.
+const DefaultThresholdPct = metrics.DefaultThresholdPct
+
+// K40 returns the NVIDIA Tesla K40 (Kepler GK110b) model.
+func K40() Device { return k40.New() }
+
+// XeonPhi returns the Intel Xeon Phi 3120A (Knights Corner) model.
+func XeonPhi() Device { return phi.New() }
+
+// Devices returns both tested accelerators.
+func Devices() []Device { return campaign.Devices() }
+
+// NewDGEMM returns an n x n matrix-multiplication kernel (Table II sweeps
+// 1024 through 8192).
+func NewDGEMM(n int) *dgemm.Kernel { return dgemm.New(n) }
+
+// NewLavaMD returns a particle-interaction kernel over g boxes per
+// dimension (Table II uses 13, 15, 19, 23).
+func NewLavaMD(g int) *lavamd.Kernel { return lavamd.New(g) }
+
+// NewHotSpot returns the 2D thermal stencil (Table II: 1024x1024).
+// Construction runs the golden simulation once.
+func NewHotSpot(side, iters int) *hotspot.Kernel { return hotspot.New(side, iters) }
+
+// NewCLAMR returns the shallow-water AMR dam-break kernel substituting for
+// LANL's proprietary CLAMR (Table II: 512x512). Construction runs the
+// golden simulation once.
+func NewCLAMR(side, steps int) *clamr.Kernel { return clamr.New(side, steps) }
+
+// CampaignConfig returns the standard campaign configuration: `strikes`
+// particle strikes under LANSCE flux, reproducible from seed.
+func CampaignConfig(seed uint64, strikes int) Config {
+	return campaign.DefaultConfig(seed, strikes)
+}
+
+// RunCampaign simulates a beam campaign cell: cfg.Strikes strikes of kern
+// on dev, each resolved by the device architecture and propagated through
+// the kernel's real computation.
+func RunCampaign(dev Device, kern Kernel, cfg Config) *Result {
+	return campaign.Run(dev, kern, cfg)
+}
+
+// Analyze applies the paper's criticality methodology to a set of
+// per-execution reports.
+func Analyze(reports []*Report, opts AnalysisOptions) *Criticality {
+	return core.Analyze(reports, opts)
+}
+
+// AnalyzeLog re-analyses a parsed campaign log with a chosen filter — the
+// third-party re-analysis path the paper enables by publishing raw logs.
+func AnalyzeLog(l *Log, opts AnalysisOptions) *Criticality {
+	return core.AnalyzeLog(l, opts)
+}
+
+// DefaultAnalysisOptions returns the paper's conservative configuration
+// (2% threshold, no display cap).
+func DefaultAnalysisOptions() AnalysisOptions { return core.DefaultOptions() }
+
+// WriteLog serialises a campaign result into the public log format.
+func WriteLog(w io.Writer, res *Result, seed uint64) error {
+	return logdata.Write(w, res.ToLog(seed))
+}
+
+// ParseLog reads a log written by WriteLog.
+func ParseLog(r io.Reader) (*Log, error) { return logdata.Parse(r) }
+
+// RenderScatter renders a Figure-2/4/6/8 style plot of a campaign result.
+func RenderScatter(w io.Writer, res *Result, capPct float64) {
+	s := campaign.ScatterSeries{
+		Device: res.Device,
+		Kernel: res.Kernel,
+		CapPct: capPct,
+		Series: []campaign.LabeledPoints{{Label: res.Input, Points: res.Scatter(capPct)}},
+	}
+	report.Scatter(w, s, 64, 16)
+}
+
+// RenderLocality renders a Figure-3/5/7 style FIT-by-locality bar pair.
+func RenderLocality(w io.Writer, res *Result, thresholdPct float64) {
+	f := campaign.LocalityFigure{
+		Device:       res.Device,
+		Kernel:       res.Kernel,
+		ThresholdPct: thresholdPct,
+		Bars: []campaign.LocalityBar{{
+			Input:            res.Input,
+			All:              res.LocalityBreakdown(0),
+			Filtered:         res.LocalityBreakdown(thresholdPct),
+			FilterMeaningful: res.FilteredFraction(thresholdPct) > 0,
+		}},
+	}
+	report.LocalityBars(w, f, 60)
+}
+
+// Verdict phrases the cross-architecture criticality comparison of two
+// analyses, mirroring §V-E's trade-off discussion.
+func Verdict(nameA string, a *Criticality, nameB string, b *Criticality) string {
+	return core.Verdict(nameA, a, nameB, b)
+}
+
+// HardeningAdvice is a ranked selective-hardening plan: the paper's §VI
+// future work ("apply selective hardening to only those ... resources
+// whose corruption is likely to produce the observed critical errors").
+type HardeningAdvice = harden.Advice
+
+// AdviseHardening ranks the resources behind a campaign's critical SDCs
+// and projects the benefit of hardening each cumulatively.
+func AdviseHardening(res *Result, thresholdPct float64) HardeningAdvice {
+	return harden.Advise(res, thresholdPct)
+}

@@ -1,0 +1,157 @@
+package radcrit
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEndToEnd exercises the full public pipeline: device + kernel ->
+// campaign -> log round trip -> criticality analysis -> rendering.
+func TestEndToEnd(t *testing.T) {
+	dev := K40()
+	kern := NewDGEMM(128)
+	res := RunCampaign(dev, kern, CampaignConfig(1, 200))
+
+	if res.Tally.Count() != 200 {
+		t.Fatalf("strikes accounted: %d", res.Tally.Count())
+	}
+	if res.Tally.SDC == 0 {
+		t.Fatal("no SDCs in 200 strikes")
+	}
+
+	// Log round trip.
+	var sb strings.Builder
+	if err := WriteLog(&sb, res, 1); err != nil {
+		t.Fatal(err)
+	}
+	l, err := ParseLog(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.SDCCount() != res.Tally.SDC {
+		t.Fatal("log SDC count diverged")
+	}
+
+	// Analysis paths agree.
+	direct := Analyze(res.Reports, DefaultAnalysisOptions())
+	fromLog := AnalyzeLog(l, DefaultAnalysisOptions())
+	if direct.CriticalSDCs != fromLog.CriticalSDCs {
+		t.Fatalf("analysis diverged: %d vs %d", direct.CriticalSDCs, fromLog.CriticalSDCs)
+	}
+
+	// Renderers produce content.
+	var out strings.Builder
+	RenderScatter(&out, res, 100)
+	RenderLocality(&out, res, DefaultThresholdPct)
+	if !strings.Contains(out.String(), "K40 DGEMM") {
+		t.Fatal("renderers produced no figure content")
+	}
+}
+
+func TestDevicesDiffer(t *testing.T) {
+	k, p := K40(), XeonPhi()
+	if k.ShortName() == p.ShortName() {
+		t.Fatal("devices not distinct")
+	}
+	if len(Devices()) != 2 {
+		t.Fatal("expected two devices")
+	}
+}
+
+// TestCrossArchitectureHeadline reproduces the abstract's headline claim:
+// "arithmetic operations are less critical for the K40" — for DGEMM the
+// K40's surviving errors are smaller and fewer than the Phi's.
+func TestCrossArchitectureHeadline(t *testing.T) {
+	kern := NewDGEMM(256)
+	cfg := CampaignConfig(3, 300)
+	opts := DefaultAnalysisOptions()
+	opts.CapPct = 100 // the paper's Fig. 2 display cap
+
+	k40Crit := Analyze(RunCampaign(K40(), kern, cfg).Reports, opts)
+	phiCrit := Analyze(RunCampaign(XeonPhi(), kern, cfg).Reports, opts)
+
+	// K40 clears far more runs through the 2% filter (paper: 50-75% vs
+	// essentially none on the Phi).
+	if k40Crit.FilteredFraction <= phiCrit.FilteredFraction {
+		t.Fatalf("K40 filtered %v should exceed Phi %v",
+			k40Crit.FilteredFraction, phiCrit.FilteredFraction)
+	}
+	// Phi's DGEMM errors are near the cap; K40's sit lower.
+	if phiCrit.MeanRelErrPct.Median < k40Crit.MeanRelErrPct.Median {
+		t.Fatalf("Phi median MRE %v should exceed K40's %v",
+			phiCrit.MeanRelErrPct.Median, k40Crit.MeanRelErrPct.Median)
+	}
+	// The verdict must articulate a comparison.
+	v := Verdict("K40", k40Crit, "XeonPhi", phiCrit)
+	if !strings.Contains(v, "K40") || !strings.Contains(v, "XeonPhi") {
+		t.Fatal("verdict names missing")
+	}
+}
+
+// TestLavaMDTradeoff reproduces §V-E: the Phi corrupts more elements with
+// smaller relative errors than the K40 for FDM-style codes.
+func TestLavaMDTradeoff(t *testing.T) {
+	cfg := CampaignConfig(5, 300)
+	// Fig. 4 plots all mismatches (no filter), capped at 20,000% as in
+	// the paper's figure note.
+	opts := AnalysisOptions{ThresholdPct: 0, CapPct: 20000}
+
+	k40Res := RunCampaign(K40(), NewLavaMD(5), cfg)
+	phiRes := RunCampaign(XeonPhi(), NewLavaMD(5), cfg)
+	k40Crit := Analyze(k40Res.Reports, opts)
+	phiCrit := Analyze(phiRes.Reports, opts)
+	if k40Crit.CriticalSDCs == 0 || phiCrit.CriticalSDCs == 0 {
+		t.Fatal("no critical SDCs sampled")
+	}
+	if phiCrit.IncorrectElements.Median <= k40Crit.IncorrectElements.Median {
+		t.Fatalf("Phi should corrupt more elements: %v vs %v",
+			phiCrit.IncorrectElements.Median, k40Crit.IncorrectElements.Median)
+	}
+	// Fig. 4a vs 4b: the K40's point cloud sits at larger relative errors
+	// (transcendental-unit amplification) while the Phi's — diluted over
+	// thousands of cache-shared consumers — sits markedly lower.
+	if k40Crit.MeanRelErrPct.Median <= phiCrit.MeanRelErrPct.Median {
+		t.Fatalf("K40 median LavaMD MRE %.3f should exceed the Phi's %.3f",
+			k40Crit.MeanRelErrPct.Median, phiCrit.MeanRelErrPct.Median)
+	}
+	_ = k40Res
+	_ = phiRes
+}
+
+// TestHotSpotResilience reproduces §V-C: stencils are the most resilient
+// class — the 2% filter clears the large majority of HotSpot SDCs.
+func TestHotSpotResilience(t *testing.T) {
+	kern := NewHotSpot(64, 80)
+	for _, dev := range Devices() {
+		res := RunCampaign(dev, kern, CampaignConfig(9, 300))
+		if res.Tally.SDC == 0 {
+			t.Fatalf("%s: no SDCs", dev.ShortName())
+		}
+		frac := res.FilteredFraction(2)
+		if frac < 0.6 {
+			t.Fatalf("%s: only %.0f%%%% of HotSpot SDCs filtered; paper reports 80-95%%",
+				dev.ShortName(), 100*frac)
+		}
+	}
+}
+
+// TestCLAMRCriticality reproduces §V-D: CLAMR errors are widespread,
+// mostly square, and essentially none fall under the 2% filter.
+func TestCLAMRCriticality(t *testing.T) {
+	kern := NewCLAMR(48, 60)
+	res := RunCampaign(XeonPhi(), kern, CampaignConfig(11, 300))
+	if res.Tally.SDC == 0 {
+		t.Fatal("no SDCs")
+	}
+	if frac := res.FilteredFraction(2); frac > 0.35 {
+		t.Fatalf("%.0f%% of CLAMR SDCs filtered; the paper found none", 100*frac)
+	}
+	crit := Analyze(res.Reports, DefaultAnalysisOptions())
+	if crit.LocalityShare(0) != 0 { // metrics.NoPattern guard
+		t.Fatal("critical SDC with no pattern")
+	}
+	if crit.SpreadShare() < 0.7 {
+		t.Fatalf("square+cubic share %.2f; the paper reports 99%% square",
+			crit.SpreadShare())
+	}
+}
