@@ -322,6 +322,34 @@ func BenchmarkAblationThreshold(b *testing.B) {
 	}
 }
 
+// --- Campaign engine: serial vs parallel (DESIGN.md §5) ---
+
+// benchCampaignEngine measures uncached campaign cells at a fixed worker
+// count. RunFresh bypasses the memo cache, so every iteration pays the
+// full strike loop; the kernel is hoisted so iterations beyond the first
+// run against warm golden-state handles (the engine's steady state).
+func benchCampaignEngine(b *testing.B, workers int) {
+	dev := k40.New()
+	kern := dgemm.New(512)
+	cfg := campaign.DefaultConfig(42, 400)
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.RunFresh(dev, kern, cfg)
+		if res.Tally.Count() != cfg.Strikes {
+			b.Fatal("strike count wrong")
+		}
+	}
+}
+
+// BenchmarkCampaignEngineSerial pins the pre-parallel baseline: one worker.
+func BenchmarkCampaignEngineSerial(b *testing.B) { benchCampaignEngine(b, 1) }
+
+// BenchmarkCampaignEngineParallel runs the default engine (GOMAXPROCS
+// workers). Results are bit-identical to the serial engine; only wall
+// time may differ (see the determinism contract, DESIGN.md §5).
+func BenchmarkCampaignEngineParallel(b *testing.B) { benchCampaignEngine(b, 0) }
+
 // --- Micro-benchmarks of the core machinery ---
 
 // BenchmarkMetricsEvaluate measures raw output comparison.

@@ -55,6 +55,12 @@ func main() {
 	k40Dev := k40.New()
 	phiDev := phi.New()
 
+	// Evaluate every campaign cell the selected artifacts will read in one
+	// concurrent matrix pass. The renderers below then hit the memo cache,
+	// so output stays serial and ordered while the compute — the entire
+	// device x kernel x input matrix — ran wide.
+	prewarm(sel, scale, cfg, k40Dev, phiDev)
+
 	if sel("T1") {
 		header(w, "Table I — classification of parallel kernels")
 		t := &report.Table{Header: []string{"kernel", "bound by", "load balance", "memory access"}}
@@ -177,6 +183,41 @@ func main() {
 			blind.InaccessibleDUEs, blind.BeamDUEs, 100*blind.DUEBlindFraction())
 		fmt.Fprintln(w, "  (the paper's §IV-D argument for beam time: schedulers, dispatchers")
 		fmt.Fprintln(w, "   and control logic are inaccessible to software injectors)")
+	}
+}
+
+// prewarm maps artifact IDs to the experiment cells they read and runs the
+// union as one campaign matrix. Duplicate cells cost nothing: RunMatrix
+// single-flights them on the memo cache.
+//
+// Keep this mapping in sync with the renderer blocks in main: a missing
+// entry is invisible in output (the renderer recomputes its cells through
+// the same memo cache) but silently serialises that artifact's compute.
+func prewarm(sel func(string) bool, scale campaign.Scale, cfg campaign.Config, k40Dev, phiDev arch.Device) {
+	var cells []campaign.Cell
+	for _, dev := range []arch.Device{k40Dev, phiDev} {
+		if sel("F2") || sel("F3") || sel("S1") || sel("S2") || sel("S3") {
+			cells = append(cells, campaign.DGEMMCells(dev, scale)...)
+		}
+		if sel("F4") || sel("F5") || sel("S1") {
+			cells = append(cells, campaign.LavaMDCells(dev, scale)...)
+		}
+		if sel("F6") || sel("F7") || sel("S1") {
+			cells = append(cells, campaign.Cell{Dev: dev, Kern: campaign.HotSpotKernel(scale)})
+		}
+		if sel("S1") {
+			cells = append(cells, campaign.Cell{Dev: dev, Kern: campaign.CLAMRKernel(scale)})
+		}
+	}
+	if sel("F8") {
+		cells = append(cells, campaign.Cell{Dev: phiDev, Kern: campaign.CLAMRKernel(scale)})
+	}
+	if sel("X1") {
+		n := campaign.DGEMMSizes(scale, k40Dev)[0]
+		cells = append(cells, campaign.Cell{Dev: k40Dev, Kern: dgemm.New(n)})
+	}
+	if len(cells) > 0 {
+		campaign.RunMatrix(cells, cfg)
 	}
 }
 

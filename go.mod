@@ -1,0 +1,3 @@
+module radcrit
+
+go 1.24

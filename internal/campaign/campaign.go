@@ -17,6 +17,7 @@ import (
 	"radcrit/internal/kernels"
 	"radcrit/internal/logdata"
 	"radcrit/internal/metrics"
+	"radcrit/internal/par"
 	"radcrit/internal/xrand"
 )
 
@@ -33,6 +34,12 @@ type Config struct {
 	BaseExecSeconds float64
 	// Facility provides the neutron flux (default LANSCE).
 	Facility beam.Facility
+	// Workers sizes the strike worker pool (0 = GOMAXPROCS). Every strike
+	// derives its randomness from an independent per-index RNG split and
+	// outcomes are merged in index order, so Workers affects wall time
+	// only — Results are bit-identical for any value. It is therefore
+	// deliberately excluded from the memo-cache key.
+	Workers int
 }
 
 // DefaultConfig returns the standard campaign configuration.
@@ -64,29 +71,80 @@ type Result struct {
 	Exposure      beam.Exposure
 }
 
+// cacheKey identifies one memoisable experiment cell. It is a comparable
+// struct (not a formatted string) so lookups cost no allocation and fields
+// cannot collide through separator ambiguity. Workers is deliberately
+// absent: it never changes results (see Config.Workers).
+type cacheKey struct {
+	Device, Kernel, Input string
+	Seed                  uint64
+	Strikes               int
+	BaseExecSeconds       float64
+	Facility              string
+}
+
+// cacheEntry is one single-flight memo slot: the first goroutine to claim
+// a key computes the cell inside once.Do while latecomers block on the
+// same Once and then read the shared result. Without this, two goroutines
+// racing on one cell (e.g. a campaign matrix whose figures share cells)
+// would both pay the full strike loop.
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+}
+
 // resultCache memoises Run: several figure builders share the same
 // experiment cells, and Run is a pure function of (device, kernel, input,
 // config).
-var resultCache sync.Map
+var resultCache sync.Map // cacheKey -> *cacheEntry
 
-// Run simulates cfg.Strikes strikes of kern on dev. Results are memoised:
-// repeated calls with the same cell and config return the same *Result.
+// Run simulates cfg.Strikes strikes of kern on dev. Results are memoised
+// with single-flight deduplication: repeated or concurrent calls with the
+// same cell and config compute once and return the same *Result.
 func Run(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
-	key := fmt.Sprintf("%s/%s/%s/%d/%d/%s", dev.ShortName(), kern.Name(),
-		kern.InputLabel(), cfg.Seed, cfg.Strikes, cfg.Facility.Name)
-	if v, ok := resultCache.Load(key); ok {
-		return v.(*Result)
+	key := cacheKey{
+		Device:          dev.ShortName(),
+		Kernel:          kern.Name(),
+		Input:           kern.InputLabel(),
+		Seed:            cfg.Seed,
+		Strikes:         cfg.Strikes,
+		BaseExecSeconds: cfg.BaseExecSeconds,
+		Facility:        cfg.Facility.Name,
 	}
-	res := runUncached(dev, kern, cfg)
-	resultCache.Store(key, res)
-	return res
+	v, _ := resultCache.LoadOrStore(key, &cacheEntry{})
+	entry := v.(*cacheEntry)
+	entry.once.Do(func() { entry.res = runUncached(dev, kern, cfg) })
+	if entry.res == nil {
+		// A panic inside once.Do (e.g. an invalid profile) marks the Once
+		// done with no result. If that panic was recovered upstream, a
+		// retry must fail loudly here rather than hand out a nil *Result.
+		panic(fmt.Sprintf("campaign: cell %s/%s/%s previously failed to compute",
+			key.Device, key.Kernel, key.Input))
+	}
+	return entry.res
 }
 
+// RunFresh executes the cell without consulting or populating the memo
+// cache. Benchmarks use it to measure true engine cost across repeated
+// runs of one cell; everything else should prefer Run.
+func RunFresh(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
+	return runUncached(dev, kern, cfg)
+}
+
+// runUncached executes one experiment cell. Strikes are fanned out over a
+// worker pool (Config.Workers, default GOMAXPROCS) with chunked dynamic
+// scheduling: the workload is irregular — an SDC strike runs a full
+// injected kernel while a masked strike returns immediately — so workers
+// pull small index chunks from a shared cursor instead of taking a static
+// split. Each strike derives an independent RNG via rng.Split(i+1) and
+// writes its outcome to slot i; the slots are then merged in index order,
+// making the Result bit-identical to a serial execution for a given seed.
 func runUncached(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
-	prof := kern.Profile(dev)
-	if err := prof.Validate(); err != nil {
+	ses, err := injector.NewSession(dev, kern)
+	if err != nil {
 		panic(fmt.Sprintf("campaign: %v", err))
 	}
+	prof := ses.Profile()
 	rng := xrand.New(cfg.Seed).
 		SplitString(dev.ShortName()).
 		SplitString(kern.Name()).
@@ -101,10 +159,14 @@ func runUncached(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
 		ResourceTally: make(map[fault.Resource]injector.Tally),
 	}
 
-	for i := 0; i < cfg.Strikes; i++ {
+	outs := make([]injector.Outcome, cfg.Strikes)
+	par.For(cfg.Strikes, cfg.Workers, func(i int) {
 		sub := rng.Split(uint64(i) + 1)
 		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
-		out := injector.RunOne(dev, kern, strike, sub)
+		outs[i] = ses.RunOne(strike, sub)
+	})
+
+	for _, out := range outs {
 		rt := res.ResourceTally[out.Resource]
 		switch out.Class {
 		case fault.Masked:
@@ -191,15 +253,15 @@ type ScatterPoint struct {
 // capping the per-element relative error at capPct as the paper's figures
 // do for readability (capPct <= 0 disables capping).
 func (r *Result) Scatter(capPct float64) []ScatterPoint {
-	cap := capPct
-	if cap <= 0 {
-		cap = 1e308
+	limit := capPct
+	if limit <= 0 {
+		limit = 1e308
 	}
 	pts := make([]ScatterPoint, 0, len(r.Reports))
 	for _, rep := range r.Reports {
 		pts = append(pts, ScatterPoint{
 			IncorrectElements: rep.Count(),
-			MeanRelErrPct:     rep.MeanRelErrPct(cap),
+			MeanRelErrPct:     rep.MeanRelErrPct(limit),
 		})
 	}
 	return pts

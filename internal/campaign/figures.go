@@ -7,9 +7,8 @@ import (
 	"radcrit/internal/detect"
 	"radcrit/internal/fault"
 	"radcrit/internal/fit"
-	"radcrit/internal/kernels/dgemm"
-	"radcrit/internal/kernels/lavamd"
 	"radcrit/internal/metrics"
+	"radcrit/internal/par"
 	"radcrit/internal/xrand"
 )
 
@@ -34,8 +33,7 @@ type LabeledPoints struct {
 // BuildDGEMMScatter produces Fig. 2a/2b for a device.
 func BuildDGEMMScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
 	out := ScatterSeries{Device: dev.ShortName(), Kernel: "DGEMM", CapPct: 100}
-	for _, n := range DGEMMSizes(s, dev) {
-		res := Run(dev, dgemm.New(n), cfg)
+	for _, res := range RunMatrix(DGEMMCells(dev, s), cfg) {
 		out.Series = append(out.Series, LabeledPoints{
 			Label:  res.Input,
 			Points: res.Scatter(out.CapPct),
@@ -47,8 +45,7 @@ func BuildDGEMMScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
 // BuildLavaMDScatter produces Fig. 4a/4b for a device.
 func BuildLavaMDScatter(dev arch.Device, s Scale, cfg Config) ScatterSeries {
 	out := ScatterSeries{Device: dev.ShortName(), Kernel: "LavaMD", CapPct: 20000}
-	for _, g := range LavaMDSizes(s, dev) {
-		res := Run(dev, lavamd.New(g), cfg)
+	for _, res := range RunMatrix(LavaMDCells(dev, s), cfg) {
 		out.Series = append(out.Series, LabeledPoints{
 			Label:  res.Input,
 			Points: res.Scatter(out.CapPct),
@@ -101,8 +98,7 @@ type LocalityFigure struct {
 // BuildDGEMMLocality produces Fig. 3a/3b.
 func BuildDGEMMLocality(dev arch.Device, s Scale, cfg Config, thresholdPct float64) LocalityFigure {
 	out := LocalityFigure{Device: dev.ShortName(), Kernel: "DGEMM", ThresholdPct: thresholdPct}
-	for _, n := range DGEMMSizes(s, dev) {
-		res := Run(dev, dgemm.New(n), cfg)
+	for _, res := range RunMatrix(DGEMMCells(dev, s), cfg) {
 		out.Bars = append(out.Bars, localityBar(res, thresholdPct))
 	}
 	return out
@@ -111,8 +107,7 @@ func BuildDGEMMLocality(dev arch.Device, s Scale, cfg Config, thresholdPct float
 // BuildLavaMDLocality produces Fig. 5a/5b.
 func BuildLavaMDLocality(dev arch.Device, s Scale, cfg Config, thresholdPct float64) LocalityFigure {
 	out := LocalityFigure{Device: dev.ShortName(), Kernel: "LavaMD", ThresholdPct: thresholdPct}
-	for _, g := range LavaMDSizes(s, dev) {
-		res := Run(dev, lavamd.New(g), cfg)
+	for _, res := range RunMatrix(LavaMDCells(dev, s), cfg) {
 		out.Bars = append(out.Bars, localityBar(res, thresholdPct))
 	}
 	return out
@@ -149,18 +144,13 @@ type RatioRow struct {
 }
 
 // BuildSDCRatios produces the §V preamble statistics for every kernel and
-// input size on both devices.
+// input size on both devices. The whole device x kernel x input matrix is
+// evaluated concurrently; rows keep the §V presentation order.
 func BuildSDCRatios(s Scale, cfg Config) []RatioRow {
-	var rows []RatioRow
-	for _, dev := range Devices() {
-		for _, n := range DGEMMSizes(s, dev) {
-			rows = append(rows, ratioRow(Run(dev, dgemm.New(n), cfg)))
-		}
-		for _, g := range LavaMDSizes(s, dev) {
-			rows = append(rows, ratioRow(Run(dev, lavamd.New(g), cfg)))
-		}
-		rows = append(rows, ratioRow(Run(dev, HotSpotKernel(s), cfg)))
-		rows = append(rows, ratioRow(Run(dev, CLAMRKernel(s), cfg)))
+	results := RunMatrix(AllCells(s), cfg)
+	rows := make([]RatioRow, len(results))
+	for i, res := range results {
+		rows[i] = ratioRow(res)
 	}
 	return rows
 }
@@ -191,8 +181,7 @@ type ScalingRow struct {
 func BuildDGEMMScaling(dev arch.Device, s Scale, cfg Config, thresholdPct float64) []ScalingRow {
 	var rows []ScalingRow
 	var baseAll, baseF float64
-	for i, n := range DGEMMSizes(s, dev) {
-		res := Run(dev, dgemm.New(n), cfg)
+	for i, res := range RunMatrix(DGEMMCells(dev, s), cfg) {
 		all := res.SDCFIT(0)
 		fl := res.SDCFIT(thresholdPct)
 		if i == 0 {
@@ -225,8 +214,7 @@ type ABFTRow struct {
 // 40% of all errors on K40, and 60% to 80% on Xeon Phi").
 func BuildABFTCoverage(dev arch.Device, s Scale, cfg Config) []ABFTRow {
 	var rows []ABFTRow
-	for _, n := range DGEMMSizes(s, dev) {
-		res := Run(dev, dgemm.New(n), cfg)
+	for _, res := range RunMatrix(DGEMMCells(dev, s), cfg) {
 		cov := abft.EvaluateCoverage(res.Reports)
 		frac := cov.CorrectableFraction()
 		rows = append(rows, ABFTRow{
@@ -248,24 +236,36 @@ type MassCheckRow struct {
 }
 
 // BuildMassCheckCoverage runs CLAMR strikes and evaluates the mass check
-// against critical (above-threshold) SDCs.
+// against critical (above-threshold) SDCs. The profile and golden-state
+// handle are prepared once; strikes fan out over the worker pool and the
+// per-strike verdicts are merged in index order.
 func BuildMassCheckCoverage(dev arch.Device, s Scale, cfg Config, thresholdPct float64) MassCheckRow {
 	k := CLAMRKernel(s)
 	prof := k.Profile(dev)
+	golden := k.Golden(dev)
 	rng := xrand.New(cfg.Seed).SplitString(dev.ShortName()).SplitString("masscheck")
-	var stats detect.CoverageStats
-	for i := 0; i < cfg.Strikes; i++ {
+	type verdict struct {
+		critical, fired bool
+	}
+	verdicts := make([]verdict, cfg.Strikes)
+	par.For(cfg.Strikes, cfg.Workers, func(i int) {
 		sub := rng.Split(uint64(i) + 1)
 		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
 		syn := dev.ResolveStrike(prof, strike, sub)
 		if syn.Outcome != fault.SDC {
-			continue
+			return
 		}
-		rep, det := k.RunInjectedDetailed(dev, syn.Injection, sub)
+		rep, det := k.RunInjectedDetailedOn(golden, syn.Injection, sub)
 		if !rep.Filter(thresholdPct).IsSDC() {
-			continue
+			return
 		}
-		stats.Add(det.MassCheckFired)
+		verdicts[i] = verdict{critical: true, fired: det.MassCheckFired}
+	})
+	var stats detect.CoverageStats
+	for _, v := range verdicts {
+		if v.critical {
+			stats.Add(v.fired)
+		}
 	}
 	return MassCheckRow{
 		Device:       dev.ShortName(),
@@ -285,36 +285,51 @@ type LocalityMap struct {
 
 // BuildCLAMRLocalityMap runs CLAMR strikes until an SDC with a sizeable
 // error wave appears and maps it (Fig. 9).
+//
+// The search runs in two passes so the strike sweep can fan out without
+// holding every candidate report in memory: pass one scores each strike in
+// parallel (keeping only the incorrect-element count), then the winner —
+// the lowest-scoring index, earliest on ties, exactly as the serial scan
+// chose — is deterministically re-executed to materialise its report.
 func BuildCLAMRLocalityMap(dev arch.Device, s Scale, cfg Config) LocalityMap {
 	k := CLAMRKernel(s)
-	var best *metrics.Report
+	prof := k.Profile(dev)
+	golden := k.Golden(dev)
 	// The paper's Fig. 9 shows a mid-flight error wave: prefer the SDC
 	// whose corrupted area is closest to a third of the output — larger
 	// ones have already flooded the whole domain, smaller ones have not
 	// yet developed the wave shape.
 	target := k.Side() * k.Side() / 3
-	score := func(rep *metrics.Report) int {
-		d := rep.Count() - target
+	score := func(count int) int {
+		d := count - target
 		if d < 0 {
 			return -d
 		}
 		return d
 	}
 	rng := xrand.New(cfg.Seed).SplitString(dev.ShortName()).SplitString("fig9")
-	for i := 0; i < cfg.Strikes; i++ {
+	runStrike := func(i int) *metrics.Report {
 		sub := rng.Split(uint64(i) + 1)
 		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
-		prof := k.Profile(dev)
 		syn := dev.ResolveStrike(prof, strike, sub)
 		if syn.Outcome != fault.SDC {
+			return nil
+		}
+		return k.RunInjectedOn(golden, syn.Injection, sub)
+	}
+	counts := make([]int, cfg.Strikes)
+	par.For(cfg.Strikes, cfg.Workers, func(i int) {
+		if rep := runStrike(i); rep != nil {
+			counts[i] = rep.Count()
+		}
+	})
+	bestIdx := -1
+	for i, c := range counts {
+		if c == 0 {
 			continue
 		}
-		rep := k.RunInjected(dev, syn.Injection, sub)
-		if rep.Count() == 0 {
-			continue
-		}
-		if best == nil || score(rep) < score(best) {
-			best = rep
+		if bestIdx < 0 || score(c) < score(counts[bestIdx]) {
+			bestIdx = i
 		}
 	}
 	m := LocalityMap{Width: k.Side(), Height: k.Side()}
@@ -322,7 +337,8 @@ func BuildCLAMRLocalityMap(dev arch.Device, s Scale, cfg Config) LocalityMap {
 	for i := range m.Marked {
 		m.Marked[i] = make([]bool, m.Width)
 	}
-	if best != nil {
+	if bestIdx >= 0 {
+		best := runStrike(bestIdx)
 		for _, mm := range best.Mismatches {
 			m.Marked[mm.Coord.Y][mm.Coord.X] = true
 		}

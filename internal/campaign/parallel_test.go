@@ -1,0 +1,256 @@
+package campaign
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/lavamd"
+	"radcrit/internal/metrics"
+	"radcrit/internal/phi"
+)
+
+// sameBits compares floats by bit pattern: corrupted reads can legally be
+// NaN (exponent-field flips), and NaN != NaN under both == and DeepEqual
+// even though the two runs produced the identical bit pattern.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func sameReport(a, b *metrics.Report) bool {
+	if a.Dims != b.Dims || a.TotalElements != b.TotalElements ||
+		!sameBits(a.ThresholdPct, b.ThresholdPct) || len(a.Mismatches) != len(b.Mismatches) {
+		return false
+	}
+	for i := range a.Mismatches {
+		ma, mb := a.Mismatches[i], b.Mismatches[i]
+		if ma.Coord != mb.Coord || !sameBits(ma.Read, mb.Read) ||
+			!sameBits(ma.Expected, mb.Expected) || !sameBits(ma.RelErrPct, mb.RelErrPct) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireIdentical asserts two engine results are bit-identical, field by
+// field for actionable failures.
+func requireIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Tally != b.Tally {
+		t.Fatalf("%s: tallies differ: %+v vs %+v", label, a.Tally, b.Tally)
+	}
+	if len(a.Reports) != len(b.Reports) {
+		t.Fatalf("%s: report counts differ: %d vs %d", label, len(a.Reports), len(b.Reports))
+	}
+	for i := range a.Reports {
+		if !sameReport(a.Reports[i], b.Reports[i]) {
+			t.Fatalf("%s: report %d differs", label, i)
+		}
+	}
+	if !reflect.DeepEqual(a.ReportResource, b.ReportResource) {
+		t.Fatalf("%s: report resources differ", label)
+	}
+	if !reflect.DeepEqual(a.ResourceTally, b.ResourceTally) {
+		t.Fatalf("%s: resource tallies differ", label)
+	}
+	if a.Exposure != b.Exposure {
+		t.Fatalf("%s: exposures differ: %+v vs %+v", label, a.Exposure, b.Exposure)
+	}
+	if a.Device != b.Device || a.Kernel != b.Kernel || a.Input != b.Input ||
+		a.Strikes != b.Strikes || a.Profile != b.Profile {
+		t.Fatalf("%s: cell identity fields differ", label)
+	}
+}
+
+// determinismCells covers all four kernels on both devices' architectures:
+// the stateless delta-propagated kernels (DGEMM, LavaMD) and the stateful
+// snapshot-timeline kernels (HotSpot, CLAMR) exercise every golden-state
+// handle implementation.
+func determinismCells() []Cell {
+	return []Cell{
+		{Dev: k40.New(), Kern: dgemm.New(128)},
+		{Dev: phi.New(), Kern: lavamd.New(4)},
+		{Dev: k40.New(), Kern: HotSpotKernel(TestScale)},
+		{Dev: phi.New(), Kern: CLAMRKernel(TestScale)},
+	}
+}
+
+// TestParallelEngineBitIdentical is the engine's determinism contract:
+// one worker and many workers must produce bit-identical Results for the
+// same seed, for every kernel family.
+func TestParallelEngineBitIdentical(t *testing.T) {
+	for _, cell := range determinismCells() {
+		serial := DefaultConfig(11, 160)
+		serial.Workers = 1
+		parallel := serial
+		parallel.Workers = 8
+		a := runUncached(cell.Dev, cell.Kern, serial)
+		b := runUncached(cell.Dev, cell.Kern, parallel)
+		requireIdentical(t, cell.Kern.Name(), a, b)
+	}
+}
+
+// TestParallelEngineGOMAXPROCSInvariant pins the acceptance criterion
+// directly: GOMAXPROCS=1 vs GOMAXPROCS=8 with the default worker count.
+func TestParallelEngineGOMAXPROCSInvariant(t *testing.T) {
+	dev := k40.New()
+	kern := dgemm.New(128)
+	cfg := DefaultConfig(23, 160) // Workers = 0: sized by GOMAXPROCS
+
+	prev := runtime.GOMAXPROCS(1)
+	a := runUncached(dev, kern, cfg)
+	runtime.GOMAXPROCS(8)
+	b := runUncached(dev, kern, cfg)
+	runtime.GOMAXPROCS(prev)
+
+	requireIdentical(t, "GOMAXPROCS 1 vs 8", a, b)
+}
+
+// TestParallelEngineRepeatedRunsIdentical guards against order-dependent
+// state leaking through the shared golden handles: a second parallel run
+// over warm caches must reproduce the first bit for bit.
+func TestParallelEngineRepeatedRunsIdentical(t *testing.T) {
+	dev := phi.New()
+	kern := dgemm.New(128)
+	cfg := DefaultConfig(31, 160)
+	cfg.Workers = 8
+	a := runUncached(dev, kern, cfg)
+	b := runUncached(dev, kern, cfg)
+	requireIdentical(t, "repeated parallel runs", a, b)
+}
+
+// TestRunSingleFlight verifies the memo cache's single-flight behaviour:
+// concurrent Run calls on one uncached cell must all return the same
+// *Result instance (the racing pre-fix cache could compute a cell twice
+// and hand different callers different instances).
+func TestRunSingleFlight(t *testing.T) {
+	dev := k40.New()
+	kern := dgemm.New(192)
+	cfg := DefaultConfig(47, 60)
+	const callers = 8
+	results := make([]*Result, callers)
+	done := make(chan int)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			results[c] = Run(dev, kern, cfg)
+			done <- c
+		}(c)
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	for c := 1; c < callers; c++ {
+		if results[c] != results[0] {
+			t.Fatalf("caller %d got a different *Result: single-flight broken", c)
+		}
+	}
+}
+
+// TestRunMatrixOrderAndDedup checks that RunMatrix preserves cell order
+// and that duplicate cells resolve to the same memoised result.
+func TestRunMatrixOrderAndDedup(t *testing.T) {
+	cells := []Cell{
+		{Dev: k40.New(), Kern: dgemm.New(128)},
+		{Dev: phi.New(), Kern: dgemm.New(128)},
+		{Dev: k40.New(), Kern: dgemm.New(128)}, // duplicate of cell 0
+	}
+	cfg := DefaultConfig(53, 60)
+	results := RunMatrix(cells, cfg)
+	if len(results) != len(cells) {
+		t.Fatalf("got %d results for %d cells", len(results), len(cells))
+	}
+	for i, res := range results {
+		if res.Device != cells[i].Dev.ShortName() || res.Input != cells[i].Kern.InputLabel() {
+			t.Fatalf("result %d out of order: %s/%s", i, res.Device, res.Input)
+		}
+	}
+	if results[0] != results[2] {
+		t.Fatal("duplicate cells should share one memoised result")
+	}
+	if results[0] == results[1] {
+		t.Fatal("distinct devices must not share a result")
+	}
+}
+
+// TestWorkersExcludedFromMemoKey pins the Config.Workers contract: the
+// worker count must not fragment the memo cache, because it cannot change
+// results.
+func TestWorkersExcludedFromMemoKey(t *testing.T) {
+	dev := phi.New()
+	kern := dgemm.New(192)
+	a := DefaultConfig(59, 60)
+	a.Workers = 1
+	b := DefaultConfig(59, 60)
+	b.Workers = 8
+	if Run(dev, kern, a) != Run(dev, kern, b) {
+		t.Fatal("Workers fragmented the memo cache")
+	}
+}
+
+// TestSessionlessBuildersDeterministicUnderWorkers checks the ported
+// strike-loop builders (mass check, Fig. 9 map) produce identical outputs
+// for any worker count.
+func TestSessionlessBuildersDeterministicUnderWorkers(t *testing.T) {
+	dev := phi.New()
+	serial := DefaultConfig(67, 120)
+	serial.Workers = 1
+	parallel := serial
+	parallel.Workers = 8
+
+	mcA := BuildMassCheckCoverage(dev, TestScale, serial, 2)
+	mcB := BuildMassCheckCoverage(dev, TestScale, parallel, 2)
+	if mcA != mcB {
+		t.Fatalf("mass-check coverage depends on workers: %+v vs %+v", mcA, mcB)
+	}
+
+	mapA := BuildCLAMRLocalityMap(dev, TestScale, serial)
+	mapB := BuildCLAMRLocalityMap(dev, TestScale, parallel)
+	if !reflect.DeepEqual(mapA, mapB) {
+		t.Fatal("locality map depends on workers")
+	}
+}
+
+// invalidKernel wraps a real kernel with a degenerate profile, to drive
+// the engine's failure path.
+type invalidKernel struct{ kernels.Kernel }
+
+func (invalidKernel) Profile(dev arch.Device) arch.Profile { return arch.Profile{} }
+
+// TestRunPoisonedEntryPanicsAgain pins the memo's failure semantics: a
+// cell whose first computation panicked (invalid profile) must keep
+// failing loudly on retry instead of returning a nil *Result out of the
+// poisoned single-flight entry.
+func TestRunPoisonedEntryPanicsAgain(t *testing.T) {
+	dev := k40.New()
+	kern := invalidKernel{dgemm.New(128)}
+	cfg := DefaultConfig(83, 10)
+	mustPanic := func(label string) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", label)
+			}
+		}()
+		Run(dev, kern, cfg)
+	}
+	mustPanic("first run (invalid profile)")
+	mustPanic("retry on poisoned entry")
+}
+
+// TestRunFreshWorkerInvariant cross-checks RunFresh (the uncached engine
+// entry benchmarks use) across worker counts for every kernel family.
+func TestRunFreshWorkerInvariant(t *testing.T) {
+	for _, cell := range determinismCells() {
+		cfgA := DefaultConfig(71, 80)
+		cfgA.Workers = 1
+		cfgB := cfgA
+		cfgB.Workers = 4
+		a := RunFresh(cell.Dev, cell.Kern, cfgA)
+		b := RunFresh(cell.Dev, cell.Kern, cfgB)
+		requireIdentical(t, cell.Kern.Name()+" fresh", a, b)
+	}
+}

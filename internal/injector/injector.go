@@ -11,6 +11,7 @@ package injector
 
 import (
 	"radcrit/internal/arch"
+	"radcrit/internal/beam"
 	"radcrit/internal/fault"
 	"radcrit/internal/kernels"
 	"radcrit/internal/metrics"
@@ -29,15 +30,56 @@ type Outcome struct {
 	Report *metrics.Report
 }
 
-// RunOne executes one strike against kern on dev and classifies it.
-func RunOne(dev arch.Device, kern kernels.Kernel, strike fault.Strike, rng *xrand.RNG) Outcome {
+// Session is a prepared (device, kernel) execution context. It hoists the
+// per-strike overheads out of the strike loop: the occupancy profile is
+// computed and validated once, and the kernel's golden-state handle is
+// obtained once, so each strike pays only for strike resolution and (for
+// SDC syndromes) the injected execution itself.
+//
+// Sessions are immutable after construction and safe for concurrent use:
+// a parallel campaign engine shares one Session across all of its workers.
+type Session struct {
+	dev    arch.Device
+	kern   kernels.Kernel
+	prof   arch.Profile
+	golden kernels.GoldenState
+}
+
+// NewSession prepares a session for kern on dev, validating the profile.
+func NewSession(dev arch.Device, kern kernels.Kernel) (*Session, error) {
 	prof := kern.Profile(dev)
-	syn := dev.ResolveStrike(prof, strike, rng)
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{dev: dev, kern: kern, prof: prof, golden: kern.Golden(dev)}, nil
+}
+
+// newSessionUnchecked prepares a session without profile validation, for
+// the one-shot convenience paths that historically did not validate.
+func newSessionUnchecked(dev arch.Device, kern kernels.Kernel) *Session {
+	return &Session{dev: dev, kern: kern, prof: kern.Profile(dev), golden: kern.Golden(dev)}
+}
+
+// Device returns the session's device.
+func (s *Session) Device() arch.Device { return s.dev }
+
+// Kernel returns the session's kernel.
+func (s *Session) Kernel() kernels.Kernel { return s.kern }
+
+// Profile returns the validated occupancy profile.
+func (s *Session) Profile() arch.Profile { return s.prof }
+
+// Golden returns the session's golden-state handle.
+func (s *Session) Golden() kernels.GoldenState { return s.golden }
+
+// RunOne executes one strike in the session and classifies it.
+func (s *Session) RunOne(strike fault.Strike, rng *xrand.RNG) Outcome {
+	syn := s.dev.ResolveStrike(s.prof, strike, rng)
 	out := Outcome{Class: syn.Outcome, Resource: syn.Resource, Scope: syn.Injection.Scope}
 	if syn.Outcome != fault.SDC {
 		return out
 	}
-	rep := kern.RunInjected(dev, syn.Injection, rng)
+	rep := s.kern.RunInjectedOn(s.golden, syn.Injection, rng)
 	if rep.Count() == 0 {
 		// Logically masked: the corrupted state never reached the output.
 		out.Class = fault.Masked
@@ -47,14 +89,22 @@ func RunOne(dev arch.Device, kern kernels.Kernel, strike fault.Strike, rng *xran
 	return out
 }
 
+// RunOne executes one strike against kern on dev and classifies it. For
+// strike loops, prepare a Session instead of paying the setup per call.
+func RunOne(dev arch.Device, kern kernels.Kernel, strike fault.Strike, rng *xrand.RNG) Outcome {
+	return newSessionUnchecked(dev, kern).RunOne(strike, rng)
+}
+
 // RunMany executes n strikes with independent sub-streams of rng, at
-// uniformly random execution moments. It returns the outcomes in order.
+// uniformly random execution moments and beam-distributed deposition
+// energies. It returns the outcomes in order.
 func RunMany(dev arch.Device, kern kernels.Kernel, n int, rng *xrand.RNG) []Outcome {
+	ses := newSessionUnchecked(dev, kern)
 	outs := make([]Outcome, n)
 	for i := range outs {
 		sub := rng.Split(uint64(i) + 1)
-		strike := fault.Strike{When: sub.Float64(), Energy: 1 + sub.ExpFloat64()*0.5}
-		outs[i] = RunOne(dev, kern, strike, sub)
+		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+		outs[i] = ses.RunOne(strike, sub)
 	}
 	return outs
 }

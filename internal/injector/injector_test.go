@@ -3,6 +3,7 @@ package injector
 import (
 	"testing"
 
+	"radcrit/internal/beam"
 	"radcrit/internal/fault"
 	"radcrit/internal/k40"
 	"radcrit/internal/kernels/dgemm"
@@ -62,6 +63,64 @@ func TestLogicalMaskingReclassifies(t *testing.T) {
 	}
 	if observed >= architectural {
 		t.Fatalf("no logical masking observed: %d of %d survived", observed, architectural)
+	}
+}
+
+func TestSessionMatchesRunOne(t *testing.T) {
+	// The prepared-session hot path and the one-shot convenience path
+	// must classify identically: both resolve the same profile and golden
+	// state, so only the per-call setup cost differs.
+	dev := k40.New()
+	kern := dgemm.New(128)
+	ses, err := NewSession(dev, kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.Device() != dev || ses.Kernel() != kern {
+		t.Fatal("session identity accessors wrong")
+	}
+	if err := ses.Profile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ses.Golden() == nil {
+		t.Fatal("session has no golden handle")
+	}
+	rng := xrand.New(9)
+	for i := 0; i < 200; i++ {
+		strike := fault.Strike{When: rng.Split(uint64(i)).Float64(), Energy: 1.2}
+		a := ses.RunOne(strike, rng.Split(uint64(i)+1))
+		b := RunOne(dev, kern, strike, rng.Split(uint64(i)+1))
+		if a.Class != b.Class || a.Resource != b.Resource || a.Scope != b.Scope {
+			t.Fatalf("strike %d: session %+v != convenience %+v", i, a, b)
+		}
+		if (a.Report == nil) != (b.Report == nil) {
+			t.Fatalf("strike %d: report presence differs", i)
+		}
+		if a.Report != nil && a.Report.Count() != b.Report.Count() {
+			t.Fatalf("strike %d: report sizes differ", i)
+		}
+	}
+}
+
+func TestRunManyUsesBeamEnergyDistribution(t *testing.T) {
+	// RunMany must sample strike energies through beam.StrikeEnergy — the
+	// single source of the deposition-energy distribution — so the two
+	// strike paths cannot drift. Replaying the RNG stream reproduces the
+	// exact energies RunMany consumed.
+	dev := k40.New()
+	kern := dgemm.New(128)
+	outs := RunMany(dev, kern, 30, xrand.New(3))
+	if len(outs) != 30 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	rng := xrand.New(3)
+	for i := 0; i < 30; i++ {
+		sub := rng.Split(uint64(i) + 1)
+		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+		out := RunOne(dev, kern, strike, sub)
+		if out.Class != outs[i].Class || out.Resource != outs[i].Resource {
+			t.Fatalf("strike %d: replay %+v != RunMany %+v", i, out, outs[i])
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ package clamr
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"radcrit/internal/arch"
 	"radcrit/internal/grid"
@@ -88,6 +89,32 @@ type Kernel struct {
 	finalH     []float64
 	m0         float64 // golden total water volume
 	refineFrac float64 // mean refined-cell fraction over the golden run
+
+	handleOnce sync.Once
+	handle     *goldenTimeline
+}
+
+// goldenTimeline is CLAMR's golden-state handle: the snapshot timeline
+// computed once at construction plus a bounded memo of fully reconstructed
+// per-step states, so strikes landing on the same timestep stop re-stepping
+// from the nearest snapshot. Memoised states are canonical and read-only;
+// irradiated runs copy them into working buffers before corrupting them.
+type goldenTimeline struct {
+	k      *Kernel
+	states kernels.TimelineMemo[*state]
+}
+
+// stateAt returns the canonical golden state at step t. The returned state
+// is shared and must not be mutated.
+func (g *goldenTimeline) stateAt(t int) *state {
+	return g.states.At(t, g.k.stateAt)
+}
+
+// Golden implements kernels.Kernel. The handle is device-independent:
+// CLAMR's golden timeline depends only on the input configuration.
+func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
+	k.handleOnce.Do(func() { k.handle = &goldenTimeline{k: k} })
+	return k.handle
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
@@ -384,6 +411,12 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 	return rep
 }
 
+// RunInjectedOn implements kernels.Kernel.
+func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	rep, _ := k.RunInjectedDetailedOn(gs, inj, rng)
+	return rep
+}
+
 // stateTargetWeights biases which conserved array a storage strike hits:
 // h has the longest cache residency (read by every flux computation, the
 // refinement criterion, and the mass check), so it absorbs the most
@@ -396,12 +429,20 @@ var stateTargetWeights = []float64{0.70, 0.15, 0.15}
 // RunInjectedDetailed runs one irradiated execution and also returns the
 // detector evidence.
 func (k *Kernel) RunInjectedDetailed(dev arch.Device, inj arch.Injection, rng *xrand.RNG) (*metrics.Report, Detail) {
+	return k.RunInjectedDetailedOn(k.Golden(dev), inj, rng)
+}
+
+// RunInjectedDetailedOn is RunInjectedDetailed against a prepared
+// golden-state handle: the hot path of campaign engines.
+func (k *Kernel) RunInjectedDetailedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) (*metrics.Report, Detail) {
+	g := gs.(*goldenTimeline)
 	t0 := int(inj.When * float64(k.steps))
 	if t0 >= k.steps {
 		t0 = k.steps - 1
 	}
 	n := k.side * k.side
-	cur := k.stateAt(t0)
+	cur := newState(n)
+	cur.copyFrom(g.stateAt(t0))
 	next := newState(n)
 
 	var frozen []bool

@@ -15,6 +15,8 @@ package dgemm
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"radcrit/internal/arch"
 	"radcrit/internal/grid"
@@ -32,6 +34,9 @@ type Kernel struct {
 	n     int
 	seedA uint64
 	seedB uint64
+
+	goldenOnce sync.Once
+	golden     *goldenProduct
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
@@ -112,11 +117,67 @@ func (k *Kernel) Profile(dev arch.Device) arch.Profile {
 	return p
 }
 
-// run carries per-execution lazy golden caches.
+// goldenProduct is DGEMM's golden-state handle: rows and columns of the
+// fault-free product C, materialised on demand and shared by every strike
+// of a campaign. Entries are pure functions of the kernel, so concurrent
+// strikes may race to compute the same row — both arrive at bit-identical
+// values and LoadOrStore keeps exactly one. Cached slices are read-only.
+// Memory grows with the set of distinct rows/columns touched, bounded by
+// the full product (2*N^2 floats); campaign strikes revisit rows heavily,
+// which is precisely why sharing beats per-run caches.
+type goldenProduct struct {
+	k    *Kernel
+	rows sync.Map // int -> []float64
+	cols sync.Map // int -> []float64
+}
+
+// Golden implements kernels.Kernel. The handle is device-independent:
+// DGEMM's golden product depends only on the input matrices.
+func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
+	k.goldenOnce.Do(func() { k.golden = &goldenProduct{k: k} })
+	return k.golden
+}
+
+// row returns golden row i of C, computing and caching it on demand.
+func (g *goldenProduct) row(i int) []float64 {
+	if row, ok := g.rows.Load(i); ok {
+		return row.([]float64)
+	}
+	n := g.k.n
+	row := make([]float64, n)
+	// k-outer loop: stream B rows for locality.
+	for kk := 0; kk < n; kk++ {
+		a := g.k.A(i, kk)
+		for j := 0; j < n; j++ {
+			row[j] += a * g.k.B(kk, j)
+		}
+	}
+	v, _ := g.rows.LoadOrStore(i, row)
+	return v.([]float64)
+}
+
+// col returns golden column j of C, computing and caching on demand.
+func (g *goldenProduct) col(j int) []float64 {
+	if col, ok := g.cols.Load(j); ok {
+		return col.([]float64)
+	}
+	n := g.k.n
+	col := make([]float64, n)
+	for kk := 0; kk < n; kk++ {
+		b := g.k.B(kk, j)
+		for i := 0; i < n; i++ {
+			col[i] += g.k.A(i, kk) * b
+		}
+	}
+	v, _ := g.cols.LoadOrStore(j, col)
+	return v.([]float64)
+}
+
+// run carries one execution's corrupted state on top of the shared golden
+// product.
 type run struct {
 	k      *Kernel
-	rows   map[int][]float64
-	cols   map[int][]float64
+	golden *goldenProduct
 	faulty map[int]faultyCell // flat index -> corrupted cell (last write wins)
 	rep    *metrics.Report
 }
@@ -127,11 +188,10 @@ type faultyCell struct {
 	read, expected float64
 }
 
-func (k *Kernel) newRun() *run {
+func (k *Kernel) newRun(g *goldenProduct) *run {
 	return &run{
 		k:      k,
-		rows:   make(map[int][]float64),
-		cols:   make(map[int][]float64),
+		golden: g,
 		faulty: make(map[int]faultyCell),
 		rep: &metrics.Report{
 			Dims:          grid.Dims{X: k.n, Y: k.n, Z: 1},
@@ -140,40 +200,11 @@ func (k *Kernel) newRun() *run {
 	}
 }
 
-// goldenRow returns golden row i of C, computing and caching it on demand.
-func (r *run) goldenRow(i int) []float64 {
-	if row, ok := r.rows[i]; ok {
-		return row
-	}
-	n := r.k.n
-	row := make([]float64, n)
-	// k-outer loop: stream B rows for locality.
-	for kk := 0; kk < n; kk++ {
-		a := r.k.A(i, kk)
-		for j := 0; j < n; j++ {
-			row[j] += a * r.k.B(kk, j)
-		}
-	}
-	r.rows[i] = row
-	return row
-}
+// goldenRow returns golden row i of C from the shared handle.
+func (r *run) goldenRow(i int) []float64 { return r.golden.row(i) }
 
-// goldenCol returns golden column j of C, computing and caching on demand.
-func (r *run) goldenCol(j int) []float64 {
-	if col, ok := r.cols[j]; ok {
-		return col
-	}
-	n := r.k.n
-	col := make([]float64, n)
-	for kk := 0; kk < n; kk++ {
-		b := r.k.B(kk, j)
-		for i := 0; i < n; i++ {
-			col[i] += r.k.A(i, kk) * b
-		}
-	}
-	r.cols[j] = col
-	return col
-}
+// goldenCol returns golden column j of C from the shared handle.
+func (r *run) goldenCol(j int) []float64 { return r.golden.col(j) }
 
 // recordWith stores a corrupted value against a caller-supplied golden
 // value (already known from a cached row or column; recomputing it here
@@ -195,9 +226,17 @@ func (r *run) record(i, j int, faulty float64) {
 }
 
 // finish converts stored corrupted values into the mismatch report.
+// Mismatches are emitted in row-major element order so the report is a
+// deterministic function of the corrupted set, not of map iteration.
 func (r *run) finish() *metrics.Report {
 	n := r.k.n
-	for key, c := range r.faulty {
+	keys := make([]int, 0, len(r.faulty))
+	for key := range r.faulty {
+		keys = append(keys, key)
+	}
+	sort.Ints(keys)
+	for _, key := range keys {
+		c := r.faulty[key]
 		i, j := key/n, key%n
 		r.rep.Mismatches = append(r.rep.Mismatches, metrics.Mismatch{
 			Coord:     grid.Coord{X: j, Y: i},
@@ -211,7 +250,12 @@ func (r *run) finish() *metrics.Report {
 
 // RunInjected implements kernels.Kernel.
 func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
-	r := k.newRun()
+	return k.RunInjectedOn(k.Golden(dev), inj, rng)
+}
+
+// RunInjectedOn implements kernels.Kernel.
+func (k *Kernel) RunInjectedOn(g kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	r := k.newRun(g.(*goldenProduct))
 	n := k.n
 
 	switch inj.Scope {

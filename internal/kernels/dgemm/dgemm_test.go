@@ -61,9 +61,18 @@ func TestGoldenElemMatchesMaterialize(t *testing.T) {
 	}
 }
 
+func TestGoldenHandleMemoised(t *testing.T) {
+	// DGEMM's golden product depends only on the input matrices, so the
+	// handle is device-independent and derived once per kernel.
+	k := New(64)
+	if k.Golden(k40.New()) != k.Golden(phi.New()) {
+		t.Fatal("golden handle should be memoised across devices")
+	}
+}
+
 func TestGoldenRowColAgree(t *testing.T) {
 	k := New(64)
-	r := k.newRun()
+	r := k.newRun(k.Golden(nil).(*goldenProduct))
 	row := r.goldenRow(5)
 	col := r.goldenCol(9)
 	direct := k.GoldenElem(5, 9)
@@ -100,7 +109,7 @@ func TestDeltaPropagationMatchesBruteForce(t *testing.T) {
 	}
 
 	// Delta propagation.
-	r := k.newRun()
+	r := k.newRun(k.Golden(nil).(*goldenProduct))
 	row := r.goldenRow(i0)
 	d := corrupted - orig
 	for j := 0; j < n; j++ {

@@ -20,6 +20,7 @@ package hotspot
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"radcrit/internal/arch"
 	"radcrit/internal/grid"
@@ -60,6 +61,31 @@ type Kernel struct {
 	golden    [][]float32 // snapshots every snapEvery iterations, plus final
 	snapEvery int
 	final     []float32
+
+	handleOnce sync.Once
+	handle     *goldenTimeline
+}
+
+// goldenTimeline is HotSpot's golden-state handle: the snapshot timeline
+// computed once at construction plus a bounded memo of fully reconstructed
+// per-iteration states, so strikes landing on the same iteration stop
+// re-stepping from the nearest snapshot. Memoised slices are read-only.
+type goldenTimeline struct {
+	k      *Kernel
+	states kernels.TimelineMemo[[]float32]
+}
+
+// stateAt returns the golden temperature field at iteration it. The
+// returned slice is shared and must not be mutated.
+func (g *goldenTimeline) stateAt(it int) []float32 {
+	return g.states.At(it, g.k.stateAt)
+}
+
+// Golden implements kernels.Kernel. The handle is device-independent:
+// HotSpot's golden timeline depends only on the input configuration.
+func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
+	k.handleOnce.Do(func() { k.handle = &goldenTimeline{k: k} })
+	return k.handle
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
@@ -236,19 +262,25 @@ type diffSeed struct {
 
 // RunInjected implements kernels.Kernel.
 func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	return k.RunInjectedOn(k.Golden(dev), inj, rng)
+}
+
+// RunInjectedOn implements kernels.Kernel.
+func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	g := gs.(*goldenTimeline)
 	t0 := int(inj.When * float64(k.iters))
 	if t0 >= k.iters {
 		t0 = k.iters - 1
 	}
-	state := k.stateAt(t0)
-	seeds, start := k.buildSeeds(state, inj, rng, t0)
+	state := g.stateAt(t0)
+	seeds, start := k.buildSeeds(g, state, inj, rng, t0)
 	diff := k.evolveDiff(seeds, start)
 	return k.reportFromDiff(diff)
 }
 
 // buildSeeds translates the injection into initial difference-field seeds
-// and the iteration at which they enter the field.
-func (k *Kernel) buildSeeds(state []float32, inj arch.Injection, rng *xrand.RNG, t0 int) ([]diffSeed, int) {
+// and the iteration at which they enter the field. state is read-only.
+func (k *Kernel) buildSeeds(g *goldenTimeline, state []float32, inj arch.Injection, rng *xrand.RNG, t0 int) ([]diffSeed, int) {
 	s := k.side
 	cells := s * s
 	var seeds []diffSeed
@@ -295,7 +327,7 @@ func (k *Kernel) buildSeeds(state []float32, inj arch.Injection, rng *xrand.RNG,
 		// the field at t0+stall and then diffuses.
 		stall := 1 + rng.Intn(3)
 		start := min(t0+stall, k.iters)
-		future := k.stateAt(start)
+		future := g.stateAt(start)
 		tilesPerSide := k.side / TileSide
 		for t := 0; t < inj.Tasks; t++ {
 			tx, ty := rng.Intn(tilesPerSide), rng.Intn(tilesPerSide)

@@ -20,6 +20,9 @@
 package kernels
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"radcrit/internal/arch"
 	"radcrit/internal/metrics"
 	"radcrit/internal/xrand"
@@ -35,6 +38,18 @@ type Class struct {
 	MemoryAccess string
 }
 
+// GoldenState is an opaque handle to a kernel's precomputed fault-free
+// state on one device: DGEMM's lazily materialised golden product rows,
+// LavaMD's potential cache, HotSpot's and CLAMR's snapshot timelines.
+// Handles are safe for concurrent use by many irradiated executions, and
+// every value read through a handle is a pure function of the kernel and
+// device, so sharing one handle across strikes — in any order, from any
+// number of goroutines — is bit-identical to deriving clean state per
+// strike. Campaign engines obtain a handle once per (kernel, device)
+// session and reuse it for every strike instead of paying the per-strike
+// re-derivation.
+type GoldenState any
+
 // Kernel is one benchmark workload at one input configuration.
 type Kernel interface {
 	// Name is the benchmark name ("DGEMM", "LavaMD", "HotSpot", "CLAMR").
@@ -47,10 +62,19 @@ type Kernel interface {
 	Class() Class
 	// Profile describes the kernel's occupancy of dev.
 	Profile(dev arch.Device) arch.Profile
+	// Golden returns the kernel's reusable golden-state handle for dev.
+	// Handles are memoised: repeated calls return the same handle, so the
+	// underlying clean state is derived at most once per device.
+	Golden(dev arch.Device) GoldenState
 	// RunInjected executes the kernel under the given injection and
 	// returns the output mismatch report against the golden output.
 	// An empty report means the corruption was logically masked.
+	// It is shorthand for RunInjectedOn(Golden(dev), inj, rng).
 	RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report
+	// RunInjectedOn is RunInjected against a prepared golden-state handle
+	// (from Golden on the desired device): the hot path of campaign
+	// engines, which hoist the handle out of the strike loop.
+	RunInjectedOn(g GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report
 }
 
 // DenseRunner is implemented by kernels that can materialise full golden
@@ -59,6 +83,37 @@ type DenseRunner interface {
 	Kernel
 	// RunDense returns the golden and faulty outputs as dense grids.
 	RunDense(dev arch.Device, inj arch.Injection, rng *xrand.RNG) (golden, faulty interface{ Data() []float64 })
+}
+
+// TimelineMemo is a bounded, concurrency-safe memo of reconstructed
+// golden states keyed by timestep, shared by the iterative kernels'
+// golden-state handles (HotSpot, CLAMR): strikes landing on the same step
+// stop re-stepping from the nearest snapshot. compute must be a pure
+// function of the step; memoised values are shared and must be treated as
+// read-only by callers. The entry cap bounds paper-scale memory — racing
+// writers can overshoot it by at most one entry each, which is benign.
+type TimelineMemo[T any] struct {
+	states sync.Map // int -> T
+	cached atomic.Int32
+}
+
+// timelineMemoCap bounds the per-handle memo: enough to cover every
+// distinct injection step of a test-scale campaign.
+const timelineMemoCap = 96
+
+// At returns the memoised state for step t, computing it on a miss.
+func (m *TimelineMemo[T]) At(t int, compute func(int) T) T {
+	if v, ok := m.states.Load(t); ok {
+		return v.(T)
+	}
+	st := compute(t)
+	if m.cached.Load() < timelineMemoCap {
+		if v, loaded := m.states.LoadOrStore(t, st); loaded {
+			return v.(T)
+		}
+		m.cached.Add(1)
+	}
+	return st
 }
 
 // ValueAt returns a deterministic pseudo-random value in [lo, hi) keyed by

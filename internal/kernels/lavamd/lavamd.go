@@ -16,6 +16,7 @@ package lavamd
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"radcrit/internal/arch"
@@ -41,6 +42,26 @@ type Kernel struct {
 	// deterministic particle state, and campaign runs query the same
 	// consumers thousands of times.
 	goldenCache sync.Map
+	// handles memoises golden-state handles per particles-per-box count
+	// (the only device-dependent parameter of LavaMD's golden state).
+	handles sync.Map // int -> *goldenHandle
+}
+
+// goldenHandle is LavaMD's golden-state handle: the device's particle
+// count per box plus access to the kernel's shared potential cache.
+type goldenHandle struct {
+	k *Kernel
+	p int
+}
+
+// Golden implements kernels.Kernel.
+func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
+	p := k.ParticlesPerBox(dev)
+	if v, ok := k.handles.Load(p); ok {
+		return v.(*goldenHandle)
+	}
+	v, _ := k.handles.LoadOrStore(p, &goldenHandle{k: k, p: p})
+	return v.(*goldenHandle)
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
@@ -121,7 +142,11 @@ func (k *Kernel) neighbors(bx, by, bz int, fn func(nx, ny, nz int)) {
 // GoldenPotential computes the fault-free potential of particle idx of box
 // (bx,by,bz) on demand, memoised per particle.
 func (k *Kernel) GoldenPotential(dev arch.Device, bx, by, bz, idx int) float64 {
-	p := k.ParticlesPerBox(dev)
+	return k.goldenPotential(k.ParticlesPerBox(dev), bx, by, bz, idx)
+}
+
+// goldenPotential is GoldenPotential keyed directly by particles-per-box.
+func (k *Kernel) goldenPotential(p, bx, by, bz, idx int) float64 {
 	key := (int64(p)<<40 | int64(k.boxIndex(bx, by, bz))<<12 | int64(idx))
 	if v, ok := k.goldenCache.Load(key); ok {
 		return v.(float64)
@@ -191,25 +216,29 @@ func (k *Kernel) Profile(dev arch.Device) arch.Profile {
 // coordinates — exactly the "multiple dimensions of the output" view the
 // paper's spatial-locality metric takes of LavaMD.
 func (k *Kernel) outputDims(dev arch.Device) grid.Dims {
-	return grid.Dims{X: k.g * k.ParticlesPerBox(dev), Y: k.g, Z: k.g}
+	return k.outputDimsP(k.ParticlesPerBox(dev))
 }
 
-// run carries per-execution lazy golden state.
+// outputDimsP is outputDims keyed directly by particles-per-box.
+func (k *Kernel) outputDimsP(p int) grid.Dims {
+	return grid.Dims{X: k.g * p, Y: k.g, Z: k.g}
+}
+
+// run carries per-execution corrupted state on top of the shared golden
+// handle.
 type run struct {
-	k   *Kernel
-	dev arch.Device
-	p   int
+	k *Kernel
+	p int
 	// faulty holds corrupted potentials keyed by flat particle id.
 	faulty map[int]float64
 	rep    *metrics.Report
 }
 
-func (k *Kernel) newRun(dev arch.Device) *run {
-	dims := k.outputDims(dev)
+func (k *Kernel) newRun(g *goldenHandle) *run {
+	dims := k.outputDimsP(g.p)
 	return &run{
 		k:      k,
-		dev:    dev,
-		p:      k.ParticlesPerBox(dev),
+		p:      g.p,
 		faulty: make(map[int]float64),
 		rep: &metrics.Report{
 			Dims:          dims,
@@ -229,7 +258,7 @@ func (r *run) adjust(bx, by, bz, idx int, delta float64) {
 	}
 	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
 	if _, ok := r.faulty[key]; !ok {
-		r.faulty[key] = r.k.GoldenPotential(r.dev, bx, by, bz, idx)
+		r.faulty[key] = r.k.goldenPotential(r.p, bx, by, bz, idx)
 	}
 	r.faulty[key] += delta
 }
@@ -241,14 +270,22 @@ func (r *run) set(bx, by, bz, idx int, v float64) {
 }
 
 // finish converts accumulated faulty values into the mismatch report.
+// Mismatches are emitted in particle-id order so the report is a
+// deterministic function of the corrupted set, not of map iteration.
 func (r *run) finish() *metrics.Report {
-	for key, v := range r.faulty {
+	keys := make([]int, 0, len(r.faulty))
+	for key := range r.faulty {
+		keys = append(keys, key)
+	}
+	sort.Ints(keys)
+	for _, key := range keys {
+		v := r.faulty[key]
 		idx := key & 0xFFF
 		box := key >> 12
 		bx := box % r.k.g
 		by := (box / r.k.g) % r.k.g
 		bz := box / (r.k.g * r.k.g)
-		g := r.k.GoldenPotential(r.dev, bx, by, bz, idx)
+		g := r.k.goldenPotential(r.p, bx, by, bz, idx)
 		if v == g {
 			continue
 		}
@@ -264,7 +301,12 @@ func (r *run) finish() *metrics.Report {
 
 // RunInjected implements kernels.Kernel.
 func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
-	r := k.newRun(dev)
+	return k.RunInjectedOn(k.Golden(dev), inj, rng)
+}
+
+// RunInjectedOn implements kernels.Kernel.
+func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	r := k.newRun(gs.(*goldenHandle))
 	p := r.p
 	g := k.g
 	randBox := func() (int, int, int) { return rng.Intn(g), rng.Intn(g), rng.Intn(g) }
@@ -282,7 +324,7 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 		// SDCs are uniformly enormous (§V-E).
 		bx, by, bz := randBox()
 		idx := rng.Intn(p)
-		t := k.randomTerm(dev, bx, by, bz, idx, rng)
+		t := k.randomTerm(p, bx, by, bz, idx, rng)
 		shift := 4 + rng.Intn(28)
 		scale := math.Ldexp(1, shift)
 		if rng.Bool(0.3) {
@@ -293,7 +335,7 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 	case arch.ScopeOutputWord:
 		bx, by, bz := randBox()
 		idx := rng.Intn(p)
-		gv := k.GoldenPotential(dev, bx, by, bz, idx)
+		gv := k.goldenPotential(p, bx, by, bz, idx)
 		r.set(bx, by, bz, idx, inj.Flip.Apply(gv, rng))
 
 	case arch.ScopeVectorLanes:
@@ -301,7 +343,7 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 		bx, by, bz := randBox()
 		idx0 := rng.Intn(p)
 		for w := 0; w < inj.Words && idx0+w < p; w++ {
-			gv := k.GoldenPotential(dev, bx, by, bz, idx0+w)
+			gv := k.goldenPotential(p, bx, by, bz, idx0+w)
 			r.set(bx, by, bz, idx0+w, inj.Flip.Apply(gv, rng))
 		}
 
@@ -319,8 +361,7 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 }
 
 // randomTerm returns one golden pairwise term of particle idx.
-func (k *Kernel) randomTerm(dev arch.Device, bx, by, bz, idx int, rng *xrand.RNG) float64 {
-	p := k.ParticlesPerBox(dev)
+func (k *Kernel) randomTerm(p, bx, by, bz, idx int, rng *xrand.RNG) float64 {
 	xi, yi, zi, _ := k.particle(bx, by, bz, idx)
 	nx, ny, nz, j := k.randomNeighborParticle(p, bx, by, bz, idx, rng)
 	xj, yj, zj, qj := k.particle(nx, ny, nz, j)

@@ -1,0 +1,84 @@
+// Package par provides the parallel execution primitive of the campaign
+// engine: a chunked, dynamically scheduled loop over indexed work items.
+//
+// The campaign workload is embarrassingly parallel but irregular — an SDC
+// strike runs a full injected kernel while a masked strike returns almost
+// immediately — so a static index split would leave workers idle behind
+// whichever range drew the expensive strikes. For instead hands out small
+// contiguous chunks from a shared atomic cursor: workers that finish early
+// steal the next chunk, bounding imbalance by one chunk per worker without
+// any per-item synchronisation.
+//
+// Determinism is the caller's contract: fn receives the item index, writes
+// only to its own slot of pre-sized output storage, and derives any
+// randomness from a per-index RNG split. Under that contract the loop's
+// results are independent of worker count and scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxChunk caps the chunk size so a single expensive tail chunk cannot
+// serialise the loop.
+const maxChunk = 64
+
+// For runs fn(i) for every i in [0, n) across a pool of workers.
+// workers <= 0 selects runtime.GOMAXPROCS(0). The loop degenerates to a
+// plain serial loop when one worker (or one item) makes a pool pointless,
+// so callers need no serial fallback of their own.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := chunkSize(n, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(cursor.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkSize aims for several chunks per worker (load balance for irregular
+// items) while keeping the cursor contention negligible.
+func chunkSize(n, workers int) int {
+	c := n / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > maxChunk {
+		return maxChunk
+	}
+	return c
+}
