@@ -4,10 +4,17 @@
 // Usage:
 //
 //	figures [-scale test|paper] [-strikes N] [-seed S] [-only ID[,ID...]]
+//	        [-stream] [-maxpoints N]
 //
 // IDs: T1 T2 F2 F3 F4 F5 F6 F7 F8 F9 S1 S2 S3 S4 X1 (see DESIGN.md §3).
 // The test scale runs the full set in tens of seconds; the paper scale
 // uses Table II input sizes and takes considerably longer.
+//
+// -stream switches the aggregate artifacts (F2-F8, S1-S3) to the streaming
+// engine (DESIGN.md §6): memory stays O(reducer state) per cell — scatter
+// figures keep a -maxpoints reservoir — at the cost of the memo cache, so
+// artifacts sharing cells recompute them. Use it when strike counts are
+// too large for retained reports.
 package main
 
 import (
@@ -30,6 +37,8 @@ func main() {
 	strikes := flag.Int("strikes", 400, "strikes per experiment cell")
 	seed := flag.Uint64("seed", 2017, "campaign seed")
 	only := flag.String("only", "", "comma-separated artifact IDs (default: all)")
+	stream := flag.Bool("stream", false, "use the bounded-memory streaming engine for aggregate artifacts")
+	maxPoints := flag.Int("maxpoints", 4096, "scatter reservoir size per input in -stream mode")
 	flag.Parse()
 
 	scale := campaign.TestScale
@@ -58,8 +67,38 @@ func main() {
 	// Evaluate every campaign cell the selected artifacts will read in one
 	// concurrent matrix pass. The renderers below then hit the memo cache,
 	// so output stays serial and ordered while the compute — the entire
-	// device x kernel x input matrix — ran wide.
-	prewarm(sel, scale, cfg, k40Dev, phiDev)
+	// device x kernel x input matrix — ran wide. Streaming mode skips the
+	// warm-up: it deliberately retains nothing to share.
+	if !*stream {
+		prewarm(sel, scale, cfg, k40Dev, phiDev)
+	}
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	// scatter/locality pick the engine per -stream: the batch builders
+	// (memoised, reports retained) or the streaming reducers.
+	scatter := func(kernel string, capPct float64, cells []campaign.Cell, batch func() campaign.ScatterSeries) campaign.ScatterSeries {
+		if !*stream {
+			return batch()
+		}
+		s, err := campaign.ScatterStreaming(kernel, capPct, *maxPoints, cells, cfg)
+		if err != nil {
+			die(err)
+		}
+		return s
+	}
+	locality := func(kernel string, cells []campaign.Cell, batch func() campaign.LocalityFigure) campaign.LocalityFigure {
+		if !*stream {
+			return batch()
+		}
+		f, err := campaign.LocalityStreaming(kernel, cells, cfg, 2)
+		if err != nil {
+			die(err)
+		}
+		return f
+	}
 
 	if sel("T1") {
 		header(w, "Table I — classification of parallel kernels")
@@ -86,7 +125,9 @@ func main() {
 	if sel("F2") {
 		header(w, "Figure 2 — DGEMM mean relative error vs incorrect elements")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.Scatter(w, campaign.BuildDGEMMScatter(dev, scale, cfg), 64, 16)
+			s := scatter("DGEMM", 100, campaign.DGEMMCells(dev, scale),
+				func() campaign.ScatterSeries { return campaign.BuildDGEMMScatter(dev, scale, cfg) })
+			report.Scatter(w, s, 64, 16)
 			fmt.Fprintln(w)
 		}
 	}
@@ -94,7 +135,9 @@ func main() {
 	if sel("F3") {
 		header(w, "Figure 3 — DGEMM spatial locality and magnitude (FIT a.u.)")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.LocalityBars(w, campaign.BuildDGEMMLocality(dev, scale, cfg, 2), 60)
+			f := locality("DGEMM", campaign.DGEMMCells(dev, scale),
+				func() campaign.LocalityFigure { return campaign.BuildDGEMMLocality(dev, scale, cfg, 2) })
+			report.LocalityBars(w, f, 60)
 			fmt.Fprintln(w)
 		}
 	}
@@ -102,7 +145,9 @@ func main() {
 	if sel("F4") {
 		header(w, "Figure 4 — LavaMD mean relative error vs incorrect elements")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.Scatter(w, campaign.BuildLavaMDScatter(dev, scale, cfg), 64, 16)
+			s := scatter("LavaMD", 20000, campaign.LavaMDCells(dev, scale),
+				func() campaign.ScatterSeries { return campaign.BuildLavaMDScatter(dev, scale, cfg) })
+			report.Scatter(w, s, 64, 16)
 			fmt.Fprintln(w)
 		}
 	}
@@ -110,7 +155,9 @@ func main() {
 	if sel("F5") {
 		header(w, "Figure 5 — LavaMD spatial locality and magnitude (FIT a.u.)")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.LocalityBars(w, campaign.BuildLavaMDLocality(dev, scale, cfg, 2), 60)
+			f := locality("LavaMD", campaign.LavaMDCells(dev, scale),
+				func() campaign.LocalityFigure { return campaign.BuildLavaMDLocality(dev, scale, cfg, 2) })
+			report.LocalityBars(w, f, 60)
 			fmt.Fprintln(w)
 		}
 	}
@@ -118,7 +165,10 @@ func main() {
 	if sel("F6") {
 		header(w, "Figure 6 — HotSpot mean relative error vs incorrect elements")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.Scatter(w, campaign.BuildHotSpotScatter(dev, scale, cfg), 64, 16)
+			cells := []campaign.Cell{{Dev: dev, Kern: campaign.HotSpotKernel(scale)}}
+			s := scatter("HotSpot", 0, cells,
+				func() campaign.ScatterSeries { return campaign.BuildHotSpotScatter(dev, scale, cfg) })
+			report.Scatter(w, s, 64, 16)
 			fmt.Fprintln(w)
 		}
 	}
@@ -126,14 +176,20 @@ func main() {
 	if sel("F7") {
 		header(w, "Figure 7 — HotSpot spatial locality and magnitude (FIT a.u.)")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.LocalityBars(w, campaign.BuildHotSpotLocality(dev, scale, cfg, 2), 60)
+			cells := []campaign.Cell{{Dev: dev, Kern: campaign.HotSpotKernel(scale)}}
+			f := locality("HotSpot", cells,
+				func() campaign.LocalityFigure { return campaign.BuildHotSpotLocality(dev, scale, cfg, 2) })
+			report.LocalityBars(w, f, 60)
 			fmt.Fprintln(w)
 		}
 	}
 
 	if sel("F8") {
 		header(w, "Figure 8 — CLAMR mean relative error vs incorrect elements (Xeon Phi)")
-		report.Scatter(w, campaign.BuildCLAMRScatter(phiDev, scale, cfg), 64, 16)
+		cells := []campaign.Cell{{Dev: phiDev, Kern: campaign.CLAMRKernel(scale)}}
+		s := scatter("CLAMR", 0, cells,
+			func() campaign.ScatterSeries { return campaign.BuildCLAMRScatter(phiDev, scale, cfg) })
+		report.Scatter(w, s, 64, 16)
 	}
 
 	if sel("F9") {
@@ -143,13 +199,31 @@ func main() {
 
 	if sel("S1") {
 		header(w, "§V preamble — SDC : crash+hang ratios")
-		report.Ratios(w, campaign.BuildSDCRatios(scale, cfg))
+		var rows []campaign.RatioRow
+		if *stream {
+			var err error
+			if rows, err = campaign.SDCRatiosStreaming(scale, cfg); err != nil {
+				die(err)
+			}
+		} else {
+			rows = campaign.BuildSDCRatios(scale, cfg)
+		}
+		report.Ratios(w, rows)
 	}
 
 	if sel("S2") {
 		header(w, "§V-A — DGEMM FIT growth with input size")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.Scaling(w, campaign.BuildDGEMMScaling(dev, scale, cfg, 2))
+			var rows []campaign.ScalingRow
+			if *stream {
+				var err error
+				if rows, err = campaign.DGEMMScalingStreaming(dev, scale, cfg, 2); err != nil {
+					die(err)
+				}
+			} else {
+				rows = campaign.BuildDGEMMScaling(dev, scale, cfg, 2)
+			}
+			report.Scaling(w, rows)
 			fmt.Fprintln(w)
 		}
 	}
@@ -157,7 +231,16 @@ func main() {
 	if sel("S3") {
 		header(w, "§V-A — ABFT-correctable share of DGEMM errors")
 		for _, dev := range []arch.Device{k40Dev, phiDev} {
-			report.ABFT(w, campaign.BuildABFTCoverage(dev, scale, cfg))
+			var rows []campaign.ABFTRow
+			if *stream {
+				var err error
+				if rows, err = campaign.ABFTCoverageStreaming(dev, scale, cfg); err != nil {
+					die(err)
+				}
+			} else {
+				rows = campaign.BuildABFTCoverage(dev, scale, cfg)
+			}
+			report.ABFT(w, rows)
 			fmt.Fprintln(w)
 		}
 	}

@@ -164,20 +164,27 @@ type Coverage struct {
 	CleanOrNoSDC int
 }
 
+// Add classifies one report's locality against ABFT's correction
+// capability, accumulating online so a streaming campaign can evaluate
+// coverage without retaining reports.
+func (c *Coverage) Add(r *metrics.Report) {
+	c.Total++
+	switch {
+	case r.Count() == 0:
+		c.CleanOrNoSDC++
+	case PatternCorrectable(r.Locality()):
+		c.Correctable++
+	default:
+		c.DetectOnly++
+	}
+}
+
 // EvaluateCoverage classifies each report's locality against ABFT's
 // correction capability.
 func EvaluateCoverage(reports []*metrics.Report) Coverage {
 	var cov Coverage
 	for _, r := range reports {
-		cov.Total++
-		switch {
-		case r.Count() == 0:
-			cov.CleanOrNoSDC++
-		case PatternCorrectable(r.Locality()):
-			cov.Correctable++
-		default:
-			cov.DetectOnly++
-		}
+		cov.Add(r)
 	}
 	return cov
 }

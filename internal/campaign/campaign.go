@@ -17,8 +17,6 @@ import (
 	"radcrit/internal/kernels"
 	"radcrit/internal/logdata"
 	"radcrit/internal/metrics"
-	"radcrit/internal/par"
-	"radcrit/internal/xrand"
 )
 
 // Config controls one experiment's statistical weight.
@@ -40,6 +38,12 @@ type Config struct {
 	// only — Results are bit-identical for any value. It is therefore
 	// deliberately excluded from the memo-cache key.
 	Workers int
+	// StreamChunk sizes the streaming engine's execution window
+	// (0 = DefaultStreamChunk). Like Workers it can never change results —
+	// outcomes are consumed in strike-index order whatever the chunking —
+	// it only sets the flush/checkpoint granularity and the engine's peak
+	// outcome memory, so it too is excluded from the memo-cache key.
+	StreamChunk int
 }
 
 // DefaultConfig returns the standard campaign configuration.
@@ -131,75 +135,20 @@ func RunFresh(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
 	return runUncached(dev, kern, cfg)
 }
 
-// runUncached executes one experiment cell. Strikes are fanned out over a
-// worker pool (Config.Workers, default GOMAXPROCS) with chunked dynamic
-// scheduling: the workload is irregular — an SDC strike runs a full
-// injected kernel while a masked strike returns immediately — so workers
-// pull small index chunks from a shared cursor instead of taking a static
-// split. Each strike derives an independent RNG via rng.Split(i+1) and
-// writes its outcome to slot i; the slots are then merged in index order,
-// making the Result bit-identical to a serial execution for a given seed.
+// runUncached executes one experiment cell. It is the batch face of the
+// streaming engine: one RunStreaming pass with the compat resultSink
+// stack, which retains every SDC report and rebuilds the full *Result.
+// The streaming engine consumes outcomes in strike-index order whatever
+// the Workers and StreamChunk settings, so the Result is bit-identical to
+// a serial execution for a given seed (pinned by parallel_test.go and the
+// golden/property suites).
 func runUncached(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
-	ses, err := injector.NewSession(dev, kern)
+	sink := newResultSink()
+	info, err := RunStreaming(dev, kern, cfg, sink)
 	if err != nil {
-		panic(fmt.Sprintf("campaign: %v", err))
+		panic(err.Error())
 	}
-	prof := ses.Profile()
-	rng := xrand.New(cfg.Seed).
-		SplitString(dev.ShortName()).
-		SplitString(kern.Name()).
-		SplitString(kern.InputLabel())
-
-	res := &Result{
-		Device:        dev.ShortName(),
-		Kernel:        kern.Name(),
-		Input:         kern.InputLabel(),
-		Profile:       prof,
-		Strikes:       cfg.Strikes,
-		ResourceTally: make(map[fault.Resource]injector.Tally),
-	}
-
-	outs := make([]injector.Outcome, cfg.Strikes)
-	par.For(cfg.Strikes, cfg.Workers, func(i int) {
-		sub := rng.Split(uint64(i) + 1)
-		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
-		outs[i] = ses.RunOne(strike, sub)
-	})
-
-	for _, out := range outs {
-		rt := res.ResourceTally[out.Resource]
-		switch out.Class {
-		case fault.Masked:
-			res.Tally.Masked++
-			rt.Masked++
-		case fault.SDC:
-			res.Tally.SDC++
-			rt.SDC++
-			res.Reports = append(res.Reports, out.Report)
-			res.ReportResource = append(res.ReportResource, out.Resource)
-		case fault.Crash:
-			res.Tally.Crash++
-			rt.Crash++
-		case fault.Hang:
-			res.Tally.Hang++
-			rt.Hang++
-		}
-		res.ResourceTally[out.Resource] = rt
-	}
-
-	// Back-compute the beam exposure this strike count corresponds to,
-	// derated into the single-strike regime as the real campaigns were.
-	execSeconds := prof.RelRuntime * cfg.BaseExecSeconds
-	exp := beam.Exposure{
-		Facility:      cfg.Facility,
-		Board:         beam.Board{Label: dev.ShortName(), Derating: 1},
-		ExecSeconds:   execSeconds,
-		SensitiveArea: dev.SensitiveArea(prof),
-	}
-	exp = exp.TuneSingleStrike()
-	exp.BeamHours = exp.HoursForStrikes(float64(cfg.Strikes))
-	res.Exposure = exp
-	return res
+	return sink.result(info)
 }
 
 // SDCFIT returns the SDC failure rate in FIT, optionally applying the
@@ -282,7 +231,9 @@ func (r *Result) FilteredFraction(thresholdPct float64) float64 {
 	return float64(cleared) / float64(len(r.Reports))
 }
 
-// ToLog converts the result into the public log format.
+// ToLog converts the result into the public log format. Masked outcomes
+// carry no per-execution payload and are recorded as the log's Masked
+// count (not as events), so a parsed log reconstructs the full tally.
 func (r *Result) ToLog(seed uint64) *logdata.Log {
 	l := &logdata.Log{
 		Device:     r.Device,
@@ -293,6 +244,7 @@ func (r *Result) ToLog(seed uint64) *logdata.Log {
 		Executions: r.Exposure.Executions(),
 		BeamHours:  r.Exposure.BeamHours,
 		OutputDims: r.Profile.OutputDims,
+		Masked:     r.Tally.Masked,
 	}
 	exec := 0
 	for i, rep := range r.Reports {

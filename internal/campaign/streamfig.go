@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"radcrit/internal/arch"
+	"radcrit/internal/xrand"
+)
+
+// This file is the streaming face of the figure builders: every §V data
+// series that is an aggregate — tallies, FIT values, locality breakdowns,
+// filtered fractions, ABFT coverage — is computed here through online
+// reducers, holding O(reducer-state) memory per cell instead of the memo
+// cache's O(SDC reports). Scatter figures keep a bounded reservoir.
+//
+// The trade-off against the batch builders in figures.go: streaming cells
+// are not memoised, so figures that share cells recompute them. Use the
+// batch builders when several figures read one matrix and it fits in
+// memory; use these when cells are too large to retain (cmd/figures
+// -stream, million-strike campaigns).
+
+// scatterRNG derives the deterministic reservoir-eviction stream of one
+// cell: a pure function of (seed, cell), independent of Workers, chunking
+// and sibling cells.
+func scatterRNG(cfg Config, c Cell) *xrand.RNG {
+	return xrand.New(cfg.Seed).
+		SplitString(c.Dev.ShortName()).
+		SplitString(c.Kern.Name()).
+		SplitString(c.Kern.InputLabel()).
+		SplitString("scatter-reservoir")
+}
+
+// ScatterStreaming computes a Figure-2/4/6/8 style series over cells (one
+// labeled point cloud per cell, at most maxPoints points each; maxPoints
+// <= 0 keeps every point). All cells must belong to one device and kernel
+// family, as in the batch builders.
+func ScatterStreaming(kernelName string, capPct float64, maxPoints int, cells []Cell, cfg Config) (ScatterSeries, error) {
+	reducers := make([]*ScatterReducer, len(cells))
+	infos, err := StreamMatrix(cells, cfg, func(i int, c Cell) []Sink {
+		reducers[i] = NewScatterReducer(capPct, maxPoints, scatterRNG(cfg, c))
+		return []Sink{reducers[i]}
+	})
+	if err != nil {
+		return ScatterSeries{}, err
+	}
+	out := ScatterSeries{Kernel: kernelName, CapPct: capPct}
+	for i, info := range infos {
+		out.Device = info.Device
+		out.Series = append(out.Series, LabeledPoints{
+			Label:  info.Input,
+			Points: reducers[i].Points(),
+		})
+	}
+	return out, nil
+}
+
+// LocalityStreaming computes a Figure-3/5/7 style locality figure over
+// cells without retaining reports.
+func LocalityStreaming(kernelName string, cells []Cell, cfg Config, thresholdPct float64) (LocalityFigure, error) {
+	type cellReducers struct {
+		all      *LocalityReducer
+		filtered *LocalityReducer
+		fraction *FilteredFractionReducer
+	}
+	reducers := make([]cellReducers, len(cells))
+	infos, err := StreamMatrix(cells, cfg, func(i int, c Cell) []Sink {
+		reducers[i] = cellReducers{
+			all:      NewLocalityReducer(0),
+			filtered: NewLocalityReducer(thresholdPct),
+			fraction: NewFilteredFractionReducer(thresholdPct),
+		}
+		return []Sink{reducers[i].all, reducers[i].filtered, reducers[i].fraction}
+	})
+	if err != nil {
+		return LocalityFigure{}, err
+	}
+	out := LocalityFigure{Kernel: kernelName, ThresholdPct: thresholdPct}
+	for i, info := range infos {
+		out.Device = info.Device
+		out.Bars = append(out.Bars, LocalityBar{
+			Input:            info.Input,
+			All:              reducers[i].all.Breakdown(info.Exposure),
+			Filtered:         reducers[i].filtered.Breakdown(info.Exposure),
+			FilterMeaningful: reducers[i].fraction.Fraction() > 0,
+		})
+	}
+	return out, nil
+}
+
+// SDCRatiosStreaming computes the §V preamble SDC:DUE statistics for the
+// whole device x kernel x input matrix through tally reducers.
+func SDCRatiosStreaming(s Scale, cfg Config) ([]RatioRow, error) {
+	cells := AllCells(s)
+	reducers := make([]*TallyReducer, len(cells))
+	infos, err := StreamMatrix(cells, cfg, func(i int, c Cell) []Sink {
+		reducers[i] = NewTallyReducer()
+		return []Sink{reducers[i]}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RatioRow, len(cells))
+	for i, info := range infos {
+		t := reducers[i].Tally
+		rows[i] = RatioRow{
+			Device: info.Device,
+			Kernel: info.Kernel,
+			Input:  info.Input,
+			SDC:    t.SDC,
+			DUE:    t.Crash + t.Hang,
+			Ratio:  t.SDCToDUERatio(),
+		}
+	}
+	return rows, nil
+}
+
+// DGEMMScalingStreaming computes the §V-A input-size FIT scaling series
+// through per-threshold SDC counters.
+func DGEMMScalingStreaming(dev arch.Device, s Scale, cfg Config, thresholdPct float64) ([]ScalingRow, error) {
+	cells := DGEMMCells(dev, s)
+	reducers := make([]*SDCCountReducer, len(cells))
+	infos, err := StreamMatrix(cells, cfg, func(i int, c Cell) []Sink {
+		reducers[i] = NewSDCCountReducer(0, thresholdPct)
+		return []Sink{reducers[i]}
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	var baseAll, baseF float64
+	for i, info := range infos {
+		all := reducers[i].FIT(0, info.Exposure)
+		fl := reducers[i].FIT(1, info.Exposure)
+		if i == 0 {
+			baseAll, baseF = all, fl
+		}
+		row := ScalingRow{Device: info.Device, Input: info.Input, FITAll: all, FITFiltered: fl}
+		if baseAll > 0 {
+			row.GrowthAll = all / baseAll
+		}
+		if baseF > 0 {
+			row.GrowthFilter = fl / baseF
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ABFTCoverageStreaming computes the §V-A ABFT-correctable share of DGEMM
+// SDCs per input size through online coverage classification.
+func ABFTCoverageStreaming(dev arch.Device, s Scale, cfg Config) ([]ABFTRow, error) {
+	cells := DGEMMCells(dev, s)
+	reducers := make([]*ABFTReducer, len(cells))
+	infos, err := StreamMatrix(cells, cfg, func(i int, c Cell) []Sink {
+		reducers[i] = NewABFTReducer()
+		return []Sink{reducers[i]}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ABFTRow, len(cells))
+	for i, info := range infos {
+		frac := reducers[i].Coverage.CorrectableFraction()
+		rows[i] = ABFTRow{
+			Device:              info.Device,
+			Input:               info.Input,
+			CorrectableFraction: frac,
+			ResidualFraction:    1 - frac,
+		}
+	}
+	return rows, nil
+}

@@ -43,7 +43,12 @@ type Log struct {
 	Executions int
 	BeamHours  float64
 	OutputDims grid.Dims
-	Events     []Event
+	// Masked is the number of masked executions. Masked runs carry no
+	// per-execution payload, so (as in the real campaigns) they are
+	// recorded as a single count in the trailer rather than as events —
+	// without it a parsed log could not reconstruct the outcome tally.
+	Masked int
+	Events []Event
 }
 
 // SDCCount returns the number of SDC events.
@@ -89,30 +94,40 @@ func (l *Log) Reports() []*metrics.Report {
 // bit-exact round trips.
 func Write(w io.Writer, l *Log) error {
 	bw := bufio.NewWriter(w)
+	writeHeader(bw, l)
+	for _, e := range l.Events {
+		writeEvent(bw, e)
+	}
+	fmt.Fprintf(bw, "#END sdc:%d due:%d masked:%d\n", l.SDCCount(), l.CrashHangCount(), l.Masked)
+	return bw.Flush()
+}
+
+// writeHeader emits the #HEADER and #BEGIN lines of the format.
+func writeHeader(bw *bufio.Writer, l *Log) {
 	fmt.Fprintf(bw, "#HEADER device:%s kernel:%s input:%s facility:%s seed:%d dims:%d,%d,%d\n",
 		field(l.Device), field(l.Kernel), field(l.Input), field(l.Facility),
 		l.Seed, l.OutputDims.X, l.OutputDims.Y, l.OutputDims.Z)
 	fmt.Fprintf(bw, "#BEGIN executions:%d beam_hours:%s\n",
 		l.Executions, strconv.FormatFloat(l.BeamHours, 'x', -1, 64))
-	for _, e := range l.Events {
-		switch e.Class {
-		case fault.SDC:
-			fmt.Fprintf(bw, "#SDC exec:%d resource:%s scope:%s count:%d\n",
-				e.Exec, field(e.Resource), field(e.Scope), len(e.Mismatches))
-			for _, m := range e.Mismatches {
-				fmt.Fprintf(bw, "#ERR x:%d y:%d z:%d read:%s expected:%s\n",
-					m.Coord.X, m.Coord.Y, m.Coord.Z,
-					strconv.FormatFloat(m.Read, 'x', -1, 64),
-					strconv.FormatFloat(m.Expected, 'x', -1, 64))
-			}
-		case fault.Crash:
-			fmt.Fprintf(bw, "#CRASH exec:%d resource:%s\n", e.Exec, field(e.Resource))
-		case fault.Hang:
-			fmt.Fprintf(bw, "#HANG exec:%d resource:%s\n", e.Exec, field(e.Resource))
+}
+
+// writeEvent emits one event's lines (shared by Write and StreamWriter).
+func writeEvent(bw *bufio.Writer, e Event) {
+	switch e.Class {
+	case fault.SDC:
+		fmt.Fprintf(bw, "#SDC exec:%d resource:%s scope:%s count:%d\n",
+			e.Exec, field(e.Resource), field(e.Scope), len(e.Mismatches))
+		for _, m := range e.Mismatches {
+			fmt.Fprintf(bw, "#ERR x:%d y:%d z:%d read:%s expected:%s\n",
+				m.Coord.X, m.Coord.Y, m.Coord.Z,
+				strconv.FormatFloat(m.Read, 'x', -1, 64),
+				strconv.FormatFloat(m.Expected, 'x', -1, 64))
 		}
+	case fault.Crash:
+		fmt.Fprintf(bw, "#CRASH exec:%d resource:%s\n", e.Exec, field(e.Resource))
+	case fault.Hang:
+		fmt.Fprintf(bw, "#HANG exec:%d resource:%s\n", e.Exec, field(e.Resource))
 	}
-	fmt.Fprintf(bw, "#END sdc:%d due:%d\n", l.SDCCount(), l.CrashHangCount())
-	return bw.Flush()
 }
 
 // field sanitises a free-text field for the space-separated format.
@@ -194,11 +209,20 @@ func Parse(r io.Reader) (*Log, error) {
 			l.Events = append(l.Events, Event{Class: fault.Hang,
 				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"])})
 			cur = nil
+		case "#CHK":
+			// Streamed checkpoint record: its cumulative SDC/DUE counts must
+			// agree with the events seen so far (the masked count has no
+			// event trail to check against).
+			if atoi(kv["sdc"]) != l.SDCCount() || atoi(kv["due"]) != l.CrashHangCount() {
+				return nil, fmt.Errorf("logdata: line %d: checkpoint counts disagree with body", lineNo)
+			}
+			cur = nil
 		case "#END":
 			// Consistency check against the trailer counts.
 			if atoi(kv["sdc"]) != l.SDCCount() || atoi(kv["due"]) != l.CrashHangCount() {
 				return nil, fmt.Errorf("logdata: trailer counts disagree with body")
 			}
+			l.Masked = atoi(kv["masked"])
 		default:
 			return nil, fmt.Errorf("logdata: line %d: unknown tag %q", lineNo, tag)
 		}

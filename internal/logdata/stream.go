@@ -1,0 +1,228 @@
+package logdata
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/grid"
+	"radcrit/internal/metrics"
+)
+
+// StreamWriter emits a campaign log incrementally, event by event, so a
+// running campaign holds no event backlog in memory. Checkpoint records
+// (#CHK lines) carry the cumulative outcome counts and the next strike
+// index; a log truncated by a crash can be resumed from its last flushed
+// checkpoint with ParseResume.
+//
+// StreamWriter is not safe for concurrent use: the campaign engine feeds
+// it from its in-order consume loop.
+type StreamWriter struct {
+	bw     *bufio.Writer
+	masked int
+	sdc    int
+	due    int
+	err    error
+}
+
+// NewStreamWriter writes the header lines for the campaign described by
+// meta (whose Events and Masked are ignored) and returns a writer ready to
+// accept events.
+func NewStreamWriter(w io.Writer, meta *Log) (*StreamWriter, error) {
+	sw := &StreamWriter{bw: bufio.NewWriter(w)}
+	writeHeader(sw.bw, meta)
+	if err := sw.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("logdata: %v", err)
+	}
+	return sw, nil
+}
+
+// AddMasked records n masked executions. Masked runs produce no event
+// lines; they are carried by checkpoint records and the trailer.
+func (sw *StreamWriter) AddMasked(n int) { sw.masked += n }
+
+// Masked returns the masked executions recorded so far.
+func (sw *StreamWriter) Masked() int { return sw.masked }
+
+// WriteEvent appends one non-masked event.
+func (sw *StreamWriter) WriteEvent(e Event) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	switch e.Class {
+	case fault.SDC:
+		sw.sdc++
+	case fault.Crash, fault.Hang:
+		sw.due++
+	default:
+		sw.err = fmt.Errorf("logdata: stream event with class %v", e.Class)
+		return sw.err
+	}
+	writeEvent(sw.bw, e)
+	return sw.setErr(nil)
+}
+
+// Checkpoint flushes everything written so far and appends a #CHK record:
+// the next strike index to execute and the cumulative outcome counts. A
+// resumed campaign restarts from the most recent complete checkpoint.
+func (sw *StreamWriter) Checkpoint(next int) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	fmt.Fprintf(sw.bw, "#CHK next:%d masked:%d sdc:%d due:%d\n", next, sw.masked, sw.sdc, sw.due)
+	return sw.setErr(sw.bw.Flush())
+}
+
+// Close appends the #END trailer and flushes. The writer must not be used
+// afterwards.
+func (sw *StreamWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	fmt.Fprintf(sw.bw, "#END sdc:%d due:%d masked:%d\n", sw.sdc, sw.due, sw.masked)
+	return sw.setErr(sw.bw.Flush())
+}
+
+func (sw *StreamWriter) setErr(err error) error {
+	if sw.err == nil && err != nil {
+		sw.err = fmt.Errorf("logdata: %v", err)
+	}
+	return sw.err
+}
+
+// Resume is the recoverable state of a possibly-truncated streamed log.
+type Resume struct {
+	// Log holds the parsed metadata and the events covered by the last
+	// complete checkpoint (events written after it are discarded: they
+	// will be reproduced exactly by re-running their strikes).
+	Log *Log
+	// Next is the first strike index not covered by the last checkpoint
+	// (0 when no checkpoint was found: the whole campaign re-runs).
+	Next int
+	// Masked is the masked-execution count at that checkpoint.
+	Masked int
+	// Complete reports that the log ended with an #END trailer, i.e.
+	// nothing needs to be re-run.
+	Complete bool
+}
+
+// ParseResume reads a streamed log that may have been truncated mid-write
+// (a crashed campaign). It tolerates an incomplete tail: a final line
+// without its terminating newline is a torn write and is discarded before
+// scanning (a tear can otherwise still parse — "masked:20" truncated to
+// "masked:2" is valid syntax with the wrong value); scanning additionally
+// stops at the first malformed or inconsistent line, and everything after
+// the last complete #CHK record is dropped. The returned Resume pinpoints
+// where the campaign must restart; per-index strike derivation guarantees
+// the re-run tail is bit-identical to what the lost one would have been.
+func ParseResume(r io.Reader) (Resume, error) {
+	l := &Log{}
+	res := Resume{Log: l}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return res, fmt.Errorf("logdata: %v", err)
+	}
+	// Every line the StreamWriter flushed ends in '\n'; anything after the
+	// last newline is a torn final line and cannot be trusted.
+	if i := bytes.LastIndexByte(data, '\n'); i < 0 {
+		data = nil
+	} else {
+		data = data[:i+1]
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var cur *Event
+	sdc, due := 0, 0
+	mark := 0 // events covered by the last complete checkpoint
+scan:
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		tag, kv, err := splitLine(line)
+		if err != nil {
+			break // corrupt tail: trust only up to the last #CHK
+		}
+		switch tag {
+		case "#HEADER":
+			l.Device = unfield(kv["device"])
+			l.Kernel = unfield(kv["kernel"])
+			l.Input = unfield(kv["input"])
+			l.Facility = unfield(kv["facility"])
+			if l.Seed, err = strconv.ParseUint(kv["seed"], 10, 64); err != nil {
+				return res, fmt.Errorf("logdata: bad seed: %v", err)
+			}
+			if l.OutputDims, err = parseDims(kv["dims"]); err != nil {
+				return res, fmt.Errorf("logdata: %v", err)
+			}
+		case "#BEGIN":
+			l.Executions = atoi(kv["executions"])
+			l.BeamHours, _ = strconv.ParseFloat(kv["beam_hours"], 64)
+		case "#SDC":
+			l.Events = append(l.Events, Event{Class: fault.SDC,
+				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"]), Scope: unfield(kv["scope"])})
+			cur = &l.Events[len(l.Events)-1]
+			sdc++
+		case "#ERR":
+			if cur == nil || cur.Class != fault.SDC {
+				return res, fmt.Errorf("logdata: #ERR outside #SDC")
+			}
+			read, err1 := strconv.ParseFloat(kv["read"], 64)
+			exp, err2 := strconv.ParseFloat(kv["expected"], 64)
+			if err1 != nil || err2 != nil {
+				break scan // truncated float: drop the unflushed tail
+			}
+			cur.Mismatches = append(cur.Mismatches, metrics.Mismatch{
+				Coord:     grid.Coord{X: atoi(kv["x"]), Y: atoi(kv["y"]), Z: atoi(kv["z"])},
+				Read:      read,
+				Expected:  exp,
+				RelErrPct: metrics.RelativeErrorPct(read, exp),
+			})
+		case "#CRASH":
+			l.Events = append(l.Events, Event{Class: fault.Crash,
+				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"])})
+			cur = nil
+			due++
+		case "#HANG":
+			l.Events = append(l.Events, Event{Class: fault.Hang,
+				Exec: atoi(kv["exec"]), Resource: unfield(kv["resource"])})
+			cur = nil
+			due++
+		case "#CHK":
+			// Only trust a checkpoint whose counts agree with the events
+			// actually present: a mismatch means this line (or the body
+			// before it) is damaged, so salvage falls back to the previous
+			// checkpoint rather than failing recovery outright.
+			if atoi(kv["sdc"]) != sdc || atoi(kv["due"]) != due {
+				break scan
+			}
+			res.Next = atoi(kv["next"])
+			res.Masked = atoi(kv["masked"])
+			mark = len(l.Events)
+			cur = nil
+		case "#END":
+			// Same defence for the trailer: only a count-consistent #END
+			// proves the campaign completed.
+			if atoi(kv["sdc"]) != sdc || atoi(kv["due"]) != due {
+				break scan
+			}
+			res.Complete = true
+			res.Masked = atoi(kv["masked"])
+			mark = len(l.Events)
+			break scan
+		default:
+			break scan // unknown tag: treat as a corrupt tail
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("logdata: %v", err)
+	}
+	l.Events = l.Events[:mark]
+	l.Masked = res.Masked
+	return res, nil
+}

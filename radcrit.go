@@ -62,6 +62,27 @@ type (
 	Log = logdata.Log
 	// Scale selects paper-scale or test-scale experiment sizing.
 	Scale = campaign.Scale
+
+	// Sink consumes strike outcomes in index order during a streaming
+	// campaign (DESIGN.md §6).
+	Sink = campaign.Sink
+	// StreamInfo is the cell metadata a streaming campaign yields in
+	// place of a retained Result.
+	StreamInfo = campaign.StreamInfo
+	// TallyReducer accumulates the outcome tally online.
+	TallyReducer = campaign.TallyReducer
+	// SDCCountReducer counts threshold-surviving SDCs online (SDC FIT).
+	SDCCountReducer = campaign.SDCCountReducer
+	// LocalityReducer accumulates the spatial-pattern breakdown online.
+	LocalityReducer = campaign.LocalityReducer
+	// FilteredFractionReducer tracks the filter-cleared SDC share online.
+	FilteredFractionReducer = campaign.FilteredFractionReducer
+	// ScatterReducer keeps a bounded reservoir of scatter points.
+	ScatterReducer = campaign.ScatterReducer
+	// CheckpointSink streams events into a resumable campaign log.
+	CheckpointSink = campaign.CheckpointSink
+	// LogResume is the recoverable state of a truncated streamed log.
+	LogResume = logdata.Resume
 )
 
 // Experiment scales.
@@ -111,6 +132,69 @@ func CampaignConfig(seed uint64, strikes int) Config {
 func RunCampaign(dev Device, kern Kernel, cfg Config) *Result {
 	return campaign.Run(dev, kern, cfg)
 }
+
+// RunCampaignStreaming simulates the same campaign cell through the
+// streaming engine: every outcome is fed to the sinks in strike-index
+// order and then dropped, so memory stays O(chunk + reducer state) however
+// many strikes — or SDCs — the cell produces. The reducers reproduce the
+// batch Result's statistics bit for bit (DESIGN.md §6).
+func RunCampaignStreaming(dev Device, kern Kernel, cfg Config, sinks ...Sink) (StreamInfo, error) {
+	return campaign.RunStreaming(dev, kern, cfg, sinks...)
+}
+
+// ResumeCampaignStreaming re-runs only the strikes from index start
+// onwards; per-index randomness makes the tail bit-identical to the same
+// indices of a full run.
+func ResumeCampaignStreaming(dev Device, kern Kernel, cfg Config, start int, sinks ...Sink) (StreamInfo, error) {
+	return campaign.RunStreamingFrom(dev, kern, cfg, start, sinks...)
+}
+
+// NewTallyReducer returns a streaming outcome-tally accumulator.
+func NewTallyReducer() *TallyReducer { return campaign.NewTallyReducer() }
+
+// NewSDCCountReducer returns a streaming SDC counter for each threshold.
+func NewSDCCountReducer(thresholds ...float64) *SDCCountReducer {
+	return campaign.NewSDCCountReducer(thresholds...)
+}
+
+// NewLocalityReducer returns a streaming locality-breakdown accumulator.
+func NewLocalityReducer(thresholdPct float64) *LocalityReducer {
+	return campaign.NewLocalityReducer(thresholdPct)
+}
+
+// NewFilteredFractionReducer returns a streaming filtered-fraction tracker.
+func NewFilteredFractionReducer(thresholdPct float64) *FilteredFractionReducer {
+	return campaign.NewFilteredFractionReducer(thresholdPct)
+}
+
+// NewScatterReducer returns a bounded reservoir of scatter points (pass a
+// nil RNG for the default deterministic eviction stream).
+func NewScatterReducer(capPct float64, maxPoints int) *ScatterReducer {
+	return campaign.NewScatterReducer(capPct, maxPoints, nil)
+}
+
+// NewCampaignLogWriter starts a checkpointed streaming campaign log for
+// one cell: pass the returned sink to RunCampaignStreaming, then Close it.
+// A run killed mid-campaign leaves a log recoverable by RecoverCampaignLog.
+func NewCampaignLogWriter(w io.Writer, dev Device, kern Kernel, cfg Config) (*CheckpointSink, error) {
+	info, err := campaign.CellInfo(dev, kern, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return campaign.NewCheckpointSink(w, info, cfg.Seed)
+}
+
+// RecoverCampaignLog completes a truncated checkpointed campaign log by
+// replaying its salvageable prefix into w and re-running only the strikes
+// after its last flushed checkpoint. The recovered log is identical to an
+// uninterrupted run's.
+func RecoverCampaignLog(w io.Writer, truncated io.Reader, dev Device, kern Kernel, cfg Config) error {
+	return campaign.RecoverLog(w, truncated, dev, kern, cfg)
+}
+
+// ParseResumableLog reads a possibly-truncated streamed campaign log and
+// reports where the campaign must restart.
+func ParseResumableLog(r io.Reader) (LogResume, error) { return logdata.ParseResume(r) }
 
 // Analyze applies the paper's criticality methodology to a set of
 // per-execution reports.

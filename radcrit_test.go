@@ -1,6 +1,8 @@
 package radcrit
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -153,5 +155,66 @@ func TestCLAMRCriticality(t *testing.T) {
 	if crit.SpreadShare() < 0.7 {
 		t.Fatalf("square+cubic share %.2f; the paper reports 99%% square",
 			crit.SpreadShare())
+	}
+}
+
+// TestStreamingFacade exercises the public streaming pipeline: reducers
+// fed by RunCampaignStreaming reproduce the batch result, a checkpointed
+// log written alongside is parseable, and a truncated copy recovers into
+// the identical log.
+func TestStreamingFacade(t *testing.T) {
+	dev := K40()
+	kern := NewDGEMM(128)
+	cfg := CampaignConfig(3, 120)
+	cfg.StreamChunk = 32
+	batch := RunCampaign(dev, kern, cfg)
+
+	var logBuf bytes.Buffer
+	ckpt, err := NewCampaignLogWriter(&logBuf, dev, kern, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tally := NewTallyReducer()
+	counts := NewSDCCountReducer(0, DefaultThresholdPct)
+	info, err := RunCampaignStreaming(dev, kern, cfg, tally, counts, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tally.Tally != batch.Tally {
+		t.Fatalf("streaming tally %+v != batch %+v", tally.Tally, batch.Tally)
+	}
+	if got, want := counts.FIT(0, info.Exposure), batch.SDCFIT(0); got != want {
+		t.Fatalf("streaming SDC FIT %v != batch %v", got, want)
+	}
+	full, err := ParseLog(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Masked != batch.Tally.Masked || full.SDCCount() != batch.Tally.SDC {
+		t.Fatalf("log counts (masked %d, sdc %d) != tally %+v", full.Masked, full.SDCCount(), batch.Tally)
+	}
+
+	// Crash recovery: drop the tail, recover, compare.
+	cut := logBuf.Len() / 2
+	res, err := ParseResumableLog(bytes.NewReader(logBuf.Bytes()[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete || res.Next <= 0 {
+		t.Fatalf("truncated log should resume mid-campaign, got %+v", res)
+	}
+	var recovered bytes.Buffer
+	if err := RecoverCampaignLog(&recovered, bytes.NewReader(logBuf.Bytes()[:cut]), dev, kern, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLog(bytes.NewReader(recovered.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, full) {
+		t.Fatal("recovered log differs from the uninterrupted run")
 	}
 }
