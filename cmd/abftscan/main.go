@@ -6,48 +6,54 @@
 // Usage:
 //
 //	abftscan [-device k40|phi] [-size N] [-strikes N] [-seed S]
+//	abftscan -plan plan.json   (every cell must be a dgemm kernel)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 
 	"radcrit"
 	"radcrit/internal/abft"
+	"radcrit/internal/cli"
 	"radcrit/internal/grid"
 	"radcrit/internal/metrics"
 	"radcrit/internal/xrand"
 )
 
 func main() {
-	deviceFlag := flag.String("device", "k40", "device: k40 or phi")
+	shared := cli.CampaignFlags{Device: "k40", Strikes: 400, Seed: 11, Scale: "test"}
+	shared.Bind(flag.CommandLine, false)
 	size := flag.Int("size", 256, "matrix side")
-	strikes := flag.Int("strikes", 400, "strikes to simulate")
-	seed := flag.Uint64("seed", 11, "campaign seed")
 	flag.Parse()
+	shared.Kernel = fmt.Sprintf("dgemm:%d", *size)
 
-	var dev radcrit.Device
-	switch *deviceFlag {
-	case "k40":
-		dev = radcrit.K40()
-	case "phi":
-		dev = radcrit.XeonPhi()
-	default:
-		fmt.Fprintf(os.Stderr, "abftscan: unknown device %q\n", *deviceFlag)
-		os.Exit(2)
+	plan, err := shared.ResolvePlan()
+	if err != nil {
+		cli.Fatal("abftscan", "%v", err)
+	}
+	for _, c := range plan.Cells {
+		if name, _ := radcrit.SplitKernelSpec(c.Kernel); name != "dgemm" {
+			cli.Fatal("abftscan", "ABFT coverage is a DGEMM analysis; plan cell %s/%s is not dgemm",
+				c.Device, c.Kernel)
+		}
 	}
 
-	kern := radcrit.NewDGEMM(*size)
-	res := radcrit.RunCampaign(dev, kern, radcrit.CampaignConfig(*seed, *strikes))
-	cov := abft.EvaluateCoverage(res.Reports)
-
-	fmt.Printf("ABFT coverage scan: DGEMM %s on %s, %d strikes, %d SDCs\n",
-		kern.InputLabel(), dev.ShortName(), *strikes, len(res.Reports))
-	fmt.Printf("  correctable (single/line): %d\n", cov.Correctable)
-	fmt.Printf("  detect-only (square/random): %d\n", cov.DetectOnly)
-	fmt.Printf("  correctable fraction: %.0f%%\n", 100*cov.CorrectableFraction())
-	fmt.Printf("  (paper §V-A: ABFT leaves 20-40%% of errors on the K40, 60-80%% on the Phi)\n\n")
+	res, err := radcrit.NewBatchRunner().Run(context.Background(), plan)
+	if err != nil {
+		cli.Fatal("abftscan", "%v", err)
+	}
+	for _, cell := range res.Cells {
+		r := cell.Result
+		cov := abft.EvaluateCoverage(r.Reports)
+		fmt.Printf("ABFT coverage scan: DGEMM %s on %s, %d strikes, %d SDCs\n",
+			r.Input, r.Device, r.Strikes, len(r.Reports))
+		fmt.Printf("  correctable (single/line): %d\n", cov.Correctable)
+		fmt.Printf("  detect-only (square/random): %d\n", cov.DetectOnly)
+		fmt.Printf("  correctable fraction: %.0f%%\n", 100*cov.CorrectableFraction())
+		fmt.Printf("  (paper §V-A: ABFT leaves 20-40%% of errors on the K40, 60-80%% on the Phi)\n\n")
+	}
 
 	// Live demonstration on a small checksummed product.
 	demo()

@@ -1,88 +1,67 @@
-// Command beamsim runs one simulated neutron-beam campaign cell — a
-// device, a kernel, an input size, a strike budget — and writes the
-// CAROL-style log plus a summary, mirroring what a real LANSCE/ISIS slot
-// produces.
+// Command beamsim runs simulated neutron-beam campaign cells — a device,
+// a kernel, an input size, a strike budget — and writes the CAROL-style
+// log plus a summary, mirroring what a real LANSCE/ISIS slot produces.
 //
-// Usage:
+// Cells come either from the shared registry flags or from a declarative
+// plan file:
 //
-//	beamsim -device k40|phi -kernel dgemm|lavamd|hotspot|clamr
-//	        [-size N] [-strikes N] [-seed S] [-scale test|paper]
-//	        [-o campaign.log]
+//	beamsim -device k40 -kernel dgemm:256 -strikes 300 [-seed S] [-o campaign.log]
+//	beamsim -plan plan.json
+//
+// A single-cell run writes its campaign log to stdout (or -o); multi-cell
+// plans print one summary per cell.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"radcrit"
-	"radcrit/internal/campaign"
+	"radcrit/internal/cli"
 )
 
 func main() {
-	deviceFlag := flag.String("device", "k40", "device: k40 or phi")
-	kernelFlag := flag.String("kernel", "dgemm", "kernel: dgemm, lavamd, hotspot, clamr")
-	size := flag.Int("size", 0, "input size (matrix side / box grid); 0 = scale default")
-	strikes := flag.Int("strikes", 300, "particle strikes to simulate")
-	seed := flag.Uint64("seed", 1, "campaign seed")
-	scaleFlag := flag.String("scale", "test", "experiment scale: test or paper")
-	out := flag.String("o", "", "log output path (default stdout)")
+	shared := cli.CampaignFlags{Device: "k40", Kernel: "dgemm", Strikes: 300, Seed: 1, Scale: "test"}
+	shared.Bind(flag.CommandLine, true)
+	out := flag.String("o", "", "log output path for single-cell runs (default stdout)")
 	flag.Parse()
 
-	scale := campaign.TestScale
-	if *scaleFlag == "paper" {
-		scale = campaign.PaperScale
+	plan, err := shared.ResolvePlan()
+	if err != nil {
+		cli.Fatal("beamsim", "%v", err)
+	}
+	if *out != "" && len(plan.Cells) != 1 {
+		cli.Fatal("beamsim", "-o needs a single-cell plan (got %d cells)", len(plan.Cells))
 	}
 
-	var dev radcrit.Device
-	switch *deviceFlag {
-	case "k40":
-		dev = radcrit.K40()
-	case "phi":
-		dev = radcrit.XeonPhi()
-	default:
-		fatal("unknown device %q", *deviceFlag)
+	res, err := radcrit.NewBatchRunner().Run(context.Background(), plan)
+	if err != nil {
+		cli.Fatal("beamsim", "%v", err)
 	}
 
-	var kern radcrit.Kernel
-	switch *kernelFlag {
-	case "dgemm":
-		n := *size
-		if n == 0 {
-			sizes := campaign.DGEMMSizes(scale, dev)
-			n = sizes[0]
+	for _, cell := range res.Cells {
+		summarize(cell)
+	}
+	if len(res.Cells) == 1 {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				cli.Fatal("beamsim", "create log: %v", err)
+			}
+			defer f.Close()
+			w = f
 		}
-		kern = radcrit.NewDGEMM(n)
-	case "lavamd":
-		g := *size
-		if g == 0 {
-			sizes := campaign.LavaMDSizes(scale, dev)
-			g = sizes[0]
+		if err := radcrit.WriteLog(w, res.Cells[0].Result, plan.Seed); err != nil {
+			cli.Fatal("beamsim", "write log: %v", err)
 		}
-		kern = radcrit.NewLavaMD(g)
-	case "hotspot":
-		kern = campaign.HotSpotKernel(scale)
-	case "clamr":
-		kern = campaign.CLAMRKernel(scale)
-	default:
-		fatal("unknown kernel %q", *kernelFlag)
 	}
+}
 
-	res := radcrit.RunCampaign(dev, kern, radcrit.CampaignConfig(*seed, *strikes))
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal("create log: %v", err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := radcrit.WriteLog(w, res, *seed); err != nil {
-		fatal("write log: %v", err)
-	}
-
+func summarize(cell *radcrit.CellOutcome) {
+	res := cell.Result
 	fmt.Fprintf(os.Stderr, "campaign: %s %s %s\n", res.Device, res.Kernel, res.Input)
 	fmt.Fprintf(os.Stderr, "  strikes:   %d over %.1f simulated beam hours\n",
 		res.Strikes, res.Exposure.BeamHours)
@@ -93,9 +72,4 @@ func main() {
 		res.SDCFIT(0), res.SDCFIT(2))
 	fmt.Fprintf(os.Stderr, "  natural-equivalent exposure: %.3g hours\n",
 		res.Exposure.Facility.EquivalentNaturalHours(res.Exposure.BeamHours))
-}
-
-func fatal(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "beamsim: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -2,22 +2,39 @@
 // statistics of the device models at paper-scale workloads: per-strike
 // outcome rates, SDC:DUE ratios and SDC-FIT growth with input size. It is
 // the tuning loop for the calibration constants documented in DESIGN.md.
+//
+// Usage:
+//
+//	calibrate [-devices k40,phi]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"strings"
 
 	"radcrit/internal/arch"
-	"radcrit/internal/k40"
+	"radcrit/internal/cli"
 	"radcrit/internal/kernels/clamr"
 	"radcrit/internal/kernels/dgemm"
 	"radcrit/internal/kernels/hotspot"
 	"radcrit/internal/kernels/lavamd"
-	"radcrit/internal/phi"
+	"radcrit/internal/registry"
 )
 
 func main() {
-	devs := []arch.Device{k40.New(), phi.New()}
+	names := flag.String("devices", strings.Join(registry.DeviceNames(), ","),
+		"comma-separated registered device names to calibrate")
+	flag.Parse()
+
+	var devs []arch.Device
+	for _, name := range strings.Split(*names, ",") {
+		dev, err := registry.NewDevice(strings.TrimSpace(name))
+		if err != nil {
+			cli.Fatal("calibrate", "%v", err)
+		}
+		devs = append(devs, dev)
+	}
 	for _, dev := range devs {
 		fmt.Println("=== ", dev.ShortName())
 		var base float64

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"radcrit"
+	"radcrit/internal/cli"
 )
 
 func main() {
@@ -32,14 +33,12 @@ func main() {
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "criticality: %v\n", err)
-			os.Exit(1)
+			cli.Fatal("criticality", "%v", err)
 		}
 		l, err := radcrit.ParseLog(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "criticality: %s: %v\n", path, err)
-			os.Exit(1)
+			cli.Fatal("criticality", "%s: %v", path, err)
 		}
 		c := radcrit.AnalyzeLog(l, opts)
 		fmt.Printf("%s — %s %s %s (%d executions, %.1f beam hours)\n",

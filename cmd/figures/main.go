@@ -4,11 +4,15 @@
 // Usage:
 //
 //	figures [-scale test|paper] [-strikes N] [-seed S] [-only ID[,ID...]]
-//	        [-stream] [-maxpoints N]
+//	        [-stream] [-maxpoints N] [-plan plan.json]
 //
 // IDs: T1 T2 F2 F3 F4 F5 F6 F7 F8 F9 S1 S2 S3 S4 X1 (see DESIGN.md §3).
 // The test scale runs the full set in tens of seconds; the paper scale
 // uses Table II input sizes and takes considerably longer.
+//
+// -plan takes the campaign configuration (seed, strikes, workers,
+// facility) from a declarative plan file instead of the flags; the
+// artifact set and its cells still follow -scale/-only.
 //
 // -stream switches the aggregate artifacts (F2-F8, S1-S3) to the streaming
 // engine (DESIGN.md §6): memory stays O(reducer state) per cell — scatter
@@ -25,9 +29,9 @@ import (
 
 	"radcrit/internal/arch"
 	"radcrit/internal/campaign"
-	"radcrit/internal/k40"
-	"radcrit/internal/kernels/dgemm"
-	"radcrit/internal/phi"
+	"radcrit/internal/cli"
+	"radcrit/internal/kernels"
+	"radcrit/internal/registry"
 	"radcrit/internal/report"
 	"radcrit/internal/swinject"
 )
@@ -39,6 +43,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated artifact IDs (default: all)")
 	stream := flag.Bool("stream", false, "use the bounded-memory streaming engine for aggregate artifacts")
 	maxPoints := flag.Int("maxpoints", 4096, "scatter reservoir size per input in -stream mode")
+	planPath := flag.String("plan", "", "JSON plan `file` supplying seed/strikes/workers/facility")
 	flag.Parse()
 
 	scale := campaign.TestScale
@@ -51,6 +56,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := campaign.DefaultConfig(*seed, *strikes)
+	if *planPath != "" {
+		plan, err := cli.LoadPlanFile(*planPath)
+		if err != nil {
+			cli.Fatal("figures", "%v", err)
+		}
+		cfg = plan.Config()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -61,8 +73,8 @@ func main() {
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
 	w := os.Stdout
-	k40Dev := k40.New()
-	phiDev := phi.New()
+	k40Dev := mustDevice("k40")
+	phiDev := mustDevice("phi")
 
 	// Evaluate every campaign cell the selected artifacts will read in one
 	// concurrent matrix pass. The renderers below then hit the memo cache,
@@ -252,8 +264,7 @@ func main() {
 
 	if sel("X1") {
 		header(w, "Extension: §IV-D — beam vs software fault injector")
-		n := campaign.DGEMMSizes(scale, k40Dev)[0]
-		kern := dgemm.New(n)
+		kern := mustKernel(cli.DefaultSpec("dgemm", scale, k40Dev))
 		res := campaign.Run(k40Dev, kern, cfg)
 		blind := swinject.Compare(res.ResourceTally)
 		sw := swinject.Run(k40Dev, kern, cfg.Strikes, cfg.Seed)
@@ -296,12 +307,28 @@ func prewarm(sel func(string) bool, scale campaign.Scale, cfg campaign.Config, k
 		cells = append(cells, campaign.Cell{Dev: phiDev, Kern: campaign.CLAMRKernel(scale)})
 	}
 	if sel("X1") {
-		n := campaign.DGEMMSizes(scale, k40Dev)[0]
-		cells = append(cells, campaign.Cell{Dev: k40Dev, Kern: dgemm.New(n)})
+		kern := mustKernel(cli.DefaultSpec("dgemm", scale, k40Dev))
+		cells = append(cells, campaign.Cell{Dev: k40Dev, Kern: kern})
 	}
 	if len(cells) > 0 {
 		campaign.RunMatrix(cells, cfg)
 	}
+}
+
+func mustDevice(name string) arch.Device {
+	dev, err := registry.NewDevice(name)
+	if err != nil {
+		cli.Fatal("figures", "%v", err)
+	}
+	return dev
+}
+
+func mustKernel(spec string) kernels.Kernel {
+	kern, err := registry.NewKernel(spec)
+	if err != nil {
+		cli.Fatal("figures", "%v", err)
+	}
+	return kern
 }
 
 func header(w *os.File, title string) {

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"radcrit"
@@ -13,6 +14,7 @@ import (
 	"radcrit/internal/detect"
 	"radcrit/internal/fault"
 	"radcrit/internal/floatbits"
+	"radcrit/internal/kernels/clamr"
 	"radcrit/internal/xrand"
 )
 
@@ -23,8 +25,20 @@ func main() {
 	)
 	fmt.Printf("CLAMR dam break %dx%d, %d steps: error waves and the mass check\n\n", side, steps, steps)
 
-	kern := radcrit.NewCLAMR(side, steps)
-	dev := radcrit.XeonPhi()
+	// Resolve the scenario by registry name — the same spec a plan file
+	// or a -kernel flag would use. The mass-check analyses below need the
+	// concrete CLAMR type.
+	k, err := radcrit.NewKernel(fmt.Sprintf("clamr:%dx%d", side, steps))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clamr_masscheck: %v\n", err)
+		os.Exit(1)
+	}
+	kern := k.(*clamr.Kernel)
+	dev, err := radcrit.NewDevice("phi")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clamr_masscheck: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("golden total water volume: %.1f (conserved to FP accuracy)\n", kern.GoldenMass())
 	fmt.Printf("mean refined-cell fraction (AMR): %.1f%%\n\n", 100*kern.RefinedFraction())
 

@@ -9,7 +9,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"radcrit"
 	"radcrit/internal/abft"
@@ -20,22 +22,27 @@ import (
 
 func main() {
 	const (
-		matrixSide = 256
-		strikes    = 400
-		seed       = 7
+		strikes = 400
+		seed    = 7
 	)
 
 	fmt.Println("ABFT vs spatial locality of DGEMM radiation errors")
 	fmt.Println()
 
-	kern := radcrit.NewDGEMM(matrixSide)
-	cfg := radcrit.CampaignConfig(seed, strikes)
+	plan := radcrit.NewPlan(seed, strikes).
+		Named("dgemm-abft").
+		WithKernelOnDevices("dgemm:256", "k40", "phi")
+	res, err := radcrit.NewBatchRunner().Run(context.Background(), plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dgemm_abft: %v\n", err)
+		os.Exit(1)
+	}
 
-	for _, dev := range radcrit.Devices() {
-		res := radcrit.RunCampaign(dev, kern, cfg)
-		cov := abft.EvaluateCoverage(res.Reports)
+	for _, cell := range res.Cells {
+		r := cell.Result
+		cov := abft.EvaluateCoverage(r.Reports)
 		fmt.Printf("%s: %d SDCs -> %d correctable (single/line), %d detect-only (square/random)\n",
-			dev.ShortName(), len(res.Reports), cov.Correctable, cov.DetectOnly)
+			r.Device, len(r.Reports), cov.Correctable, cov.DetectOnly)
 		fmt.Printf("  ABFT would remove %.0f%% of this device's DGEMM errors\n",
 			100*cov.CorrectableFraction())
 	}

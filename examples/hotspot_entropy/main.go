@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"radcrit"
 	"radcrit/internal/arch"
@@ -27,8 +28,20 @@ func main() {
 	)
 	fmt.Printf("HotSpot %dx%d, %d iterations: error dissipation and entropy detection\n\n", side, iters, iters)
 
-	kern := radcrit.NewHotSpot(side, iters)
-	dev := radcrit.K40()
+	// Resolve the scenario by registry name — the same spec a plan file
+	// or a -kernel flag would use. The dense-output analyses below need
+	// the concrete HotSpot type.
+	k, err := radcrit.NewKernel(fmt.Sprintf("hotspot:%dx%d", side, iters))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hotspot_entropy: %v\n", err)
+		os.Exit(1)
+	}
+	kern := k.(*hotspot.Kernel)
+	dev, err := radcrit.NewDevice("k40")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hotspot_entropy: %v\n", err)
+		os.Exit(1)
+	}
 	goldenEntropy := hotspot.Entropy(kern.GoldenFinal(), 64)
 	fmt.Printf("golden output entropy: %.4f bits\n\n", goldenEntropy)
 

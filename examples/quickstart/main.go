@@ -1,10 +1,12 @@
-// Quickstart: simulate a small beam campaign of DGEMM on the K40 model,
-// then apply the paper's criticality methodology — incorrect elements,
-// mean relative error, spatial locality — under the 2% imprecision filter,
-// and compare against the Xeon Phi.
+// Quickstart: define a small beam campaign of DGEMM on both devices as a
+// declarative plan, run it through a Runner, then apply the paper's
+// criticality methodology — incorrect elements, mean relative error,
+// spatial locality — under the 2% imprecision filter, and compare the
+// architectures.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -13,37 +15,47 @@ import (
 
 func main() {
 	const (
-		matrixSide = 256
-		strikes    = 300
-		seed       = 42
+		strikes = 300
+		seed    = 42
 	)
 
 	fmt.Println("radcrit quickstart: DGEMM under simulated neutron beam")
 	fmt.Println()
 
-	kern := radcrit.NewDGEMM(matrixSide)
-	cfg := radcrit.CampaignConfig(seed, strikes)
+	// A campaign is data: cells named by registry specs, plus the
+	// statistical configuration. The same plan serialises to JSON
+	// (radcrit.SavePlan) and runs from any cmd/ tool via -plan.
+	plan := radcrit.NewPlan(seed, strikes).
+		Named("quickstart").
+		WithKernelOnDevices("dgemm:256", "k40", "phi").
+		WithThresholds(0, radcrit.DefaultThresholdPct)
+
+	res, err := radcrit.NewBatchRunner().Run(context.Background(), plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
 
 	profiles := map[string]*radcrit.Criticality{}
-	for _, dev := range radcrit.Devices() {
-		res := radcrit.RunCampaign(dev, kern, cfg)
+	for _, cell := range res.Cells {
+		r := cell.Result
 		fmt.Printf("%s: %d strikes -> %d masked, %d SDC, %d crash, %d hang (SDC:DUE %.2f)\n",
-			dev.ShortName(), res.Strikes,
-			res.Tally.Masked, res.Tally.SDC, res.Tally.Crash, res.Tally.Hang,
-			res.Tally.SDCToDUERatio())
+			r.Device, r.Strikes,
+			r.Tally.Masked, r.Tally.SDC, r.Tally.Crash, r.Tally.Hang,
+			r.Tally.SDCToDUERatio())
 
 		// The paper's DGEMM figures cap per-element relative errors at
 		// 100% for readability (Fig. 2); do the same here.
 		opts := radcrit.DefaultAnalysisOptions()
 		opts.CapPct = 100
-		crit := radcrit.Analyze(res.Reports, opts)
+		crit := radcrit.Analyze(r.Reports, opts)
 		fmt.Print(crit)
 		fmt.Println()
 
-		profiles[dev.ShortName()] = crit
+		profiles[r.Device] = crit
 
 		// Render the Figure-3-style locality breakdown for this device.
-		radcrit.RenderLocality(os.Stdout, res, radcrit.DefaultThresholdPct)
+		radcrit.RenderLocality(os.Stdout, r, radcrit.DefaultThresholdPct)
 		fmt.Println()
 	}
 
@@ -52,7 +64,7 @@ func main() {
 	fmt.Println()
 
 	// The paper's proposed follow-up (§VI): find the resources behind the
-	// critical errors and harden only those.
-	res := radcrit.RunCampaign(radcrit.K40(), kern, cfg)
-	fmt.Print(radcrit.AdviseHardening(res, radcrit.DefaultThresholdPct))
+	// critical errors and harden only those. The batch runner retained
+	// the K40 cell's full result, reports included.
+	fmt.Print(radcrit.AdviseHardening(res.Cells[0].Result, radcrit.DefaultThresholdPct))
 }

@@ -6,6 +6,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -18,6 +20,38 @@ import (
 	"radcrit/internal/logdata"
 	"radcrit/internal/metrics"
 )
+
+// CellError is the typed failure of one experiment cell: it carries the
+// cell's identity so a matrix or plan run can report which cell failed,
+// and wraps the underlying cause. Both engines return it in place of the
+// panics the pre-plan API used for invalid cells.
+type CellError struct {
+	Device, Kernel, Input string
+	Err                   error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("campaign: cell %s/%s/%s: %v", e.Device, e.Kernel, e.Input, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// isCancellation reports whether err is the caller's context speaking —
+// the one error class the engines must never cache or wrap as a cell
+// failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cellError wraps err with the cell's identity (no-op for nil and for
+// context cancellation, which is the caller's signal, not the cell's
+// fault).
+func cellError(dev arch.Device, kern kernels.Kernel, err error) error {
+	if err == nil || isCancellation(err) {
+		return err
+	}
+	return &CellError{Device: dev.ShortName(), Kernel: kern.Name(), Input: kern.InputLabel(), Err: err}
+}
 
 // Config controls one experiment's statistical weight.
 type Config struct {
@@ -88,14 +122,29 @@ type cacheKey struct {
 }
 
 // cacheEntry is one single-flight memo slot: the first goroutine to claim
-// a key computes the cell inside once.Do while latecomers block on the
-// same Once and then read the shared result. Without this, two goroutines
-// racing on one cell (e.g. a campaign matrix whose figures share cells)
-// would both pay the full strike loop.
+// a key becomes the leader and computes the cell; followers wait on the
+// generation channel and then read the shared outcome. Without this, two
+// goroutines racing on one cell (e.g. a campaign matrix whose figures
+// share cells) would both pay the full strike loop. A failed cell caches
+// its *CellError — every later call gets the same typed error instead of
+// the pre-plan API's panic — but a context cancellation is never cached:
+// the slot returns to idle, the waiters are woken, and the next caller
+// (or a waiting follower) becomes the new leader. Followers wait under
+// their own context, so cancelling a caller that is merely queued behind
+// another caller's computation returns ctx.Err() immediately.
 type cacheEntry struct {
-	once sync.Once
-	res  *Result
+	mu    sync.Mutex
+	state int           // entryIdle, entryRunning or entryDone
+	wake  chan struct{} // non-nil while running; closed when the leader yields
+	res   *Result
+	err   error
 }
+
+const (
+	entryIdle = iota
+	entryRunning
+	entryDone
+)
 
 // resultCache memoises Run: several figure builders share the same
 // experiment cells, and Run is a pure function of (device, kernel, input,
@@ -105,7 +154,23 @@ var resultCache sync.Map // cacheKey -> *cacheEntry
 // Run simulates cfg.Strikes strikes of kern on dev. Results are memoised
 // with single-flight deduplication: repeated or concurrent calls with the
 // same cell and config compute once and return the same *Result.
+//
+// Run is the compat face of RunCtx: it cannot be cancelled and panics on
+// an invalid cell. Plan-driven callers use RunCtx, which returns a typed
+// *CellError instead.
 func Run(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
+	res, err := RunCtx(context.Background(), dev, kern, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunCtx is Run under a context: memoised, single-flighted, and
+// cancellable at chunk boundaries. An invalid cell returns a *CellError
+// (cached, so every caller sees the same failure); a cancelled context
+// returns ctx.Err() without poisoning the cache.
+func RunCtx(ctx context.Context, dev arch.Device, kern kernels.Kernel, cfg Config) (*Result, error) {
 	key := cacheKey{
 		Device:          dev.ShortName(),
 		Kernel:          kern.Name(),
@@ -117,15 +182,63 @@ func Run(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
 	}
 	v, _ := resultCache.LoadOrStore(key, &cacheEntry{})
 	entry := v.(*cacheEntry)
-	entry.once.Do(func() { entry.res = runUncached(dev, kern, cfg) })
-	if entry.res == nil {
-		// A panic inside once.Do (e.g. an invalid profile) marks the Once
-		// done with no result. If that panic was recovered upstream, a
-		// retry must fail loudly here rather than hand out a nil *Result.
-		panic(fmt.Sprintf("campaign: cell %s/%s/%s previously failed to compute",
-			key.Device, key.Kernel, key.Input))
+	for {
+		entry.mu.Lock()
+		switch entry.state {
+		case entryDone:
+			entry.mu.Unlock()
+			return entry.res, entry.err
+
+		case entryRunning:
+			// Another caller is computing this cell: wait for it to yield
+			// under our own context, so a queued caller stays cancellable
+			// even while the leader churns.
+			ch := entry.wake
+			entry.mu.Unlock()
+			select {
+			case <-ch:
+				continue // leader yielded: done, or back to idle — re-examine
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+
+		default: // entryIdle: become the leader
+			entry.state = entryRunning
+			entry.wake = make(chan struct{})
+			entry.mu.Unlock()
+			res, err := leaderCompute(ctx, entry, dev, kern, cfg)
+			if isCancellation(err) {
+				return nil, err
+			}
+			return res, err
+		}
 	}
-	return entry.res
+}
+
+// leaderCompute runs the cell as the entry's leader and publishes the
+// outcome. The state transition sits in a defer so that even a panic
+// escaping a kernel (a third-party RunInjectedOn bug, say) returns the
+// slot to idle and wakes the waiters before propagating — otherwise the
+// entry would wedge at entryRunning and every future caller of this cell
+// would block forever.
+func leaderCompute(ctx context.Context, entry *cacheEntry, dev arch.Device, kern kernels.Kernel, cfg Config) (res *Result, err error) {
+	completed := false
+	defer func() {
+		entry.mu.Lock()
+		switch {
+		case !completed || isCancellation(err):
+			entry.state = entryIdle // never cache a panic or a cancellation
+		default:
+			entry.state = entryDone
+			entry.res, entry.err = res, err
+		}
+		close(entry.wake)
+		entry.wake = nil
+		entry.mu.Unlock()
+	}()
+	res, err = runUncachedCtx(ctx, dev, kern, cfg)
+	completed = true
+	return res, err
 }
 
 // RunFresh executes the cell without consulting or populating the memo
@@ -135,20 +248,30 @@ func RunFresh(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
 	return runUncached(dev, kern, cfg)
 }
 
-// runUncached executes one experiment cell. It is the batch face of the
-// streaming engine: one RunStreaming pass with the compat resultSink
+// runUncached is runUncachedCtx for callers with no context: it panics on
+// an invalid cell, the compat contract of Run/RunFresh.
+func runUncached(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
+	res, err := runUncachedCtx(context.Background(), dev, kern, cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// runUncachedCtx executes one experiment cell. It is the batch face of
+// the streaming engine: one RunStreaming pass with the compat resultSink
 // stack, which retains every SDC report and rebuilds the full *Result.
 // The streaming engine consumes outcomes in strike-index order whatever
 // the Workers and StreamChunk settings, so the Result is bit-identical to
 // a serial execution for a given seed (pinned by parallel_test.go and the
 // golden/property suites).
-func runUncached(dev arch.Device, kern kernels.Kernel, cfg Config) *Result {
+func runUncachedCtx(ctx context.Context, dev arch.Device, kern kernels.Kernel, cfg Config) (*Result, error) {
 	sink := newResultSink()
-	info, err := RunStreaming(dev, kern, cfg, sink)
+	info, err := RunStreamingCtx(ctx, dev, kern, cfg, sink)
 	if err != nil {
-		panic(err.Error())
+		return nil, err
 	}
-	return sink.result(info)
+	return sink.result(info), nil
 }
 
 // SDCFIT returns the SDC failure rate in FIT, optionally applying the

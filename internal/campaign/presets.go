@@ -1,9 +1,6 @@
 package campaign
 
 import (
-	"fmt"
-	"sync"
-
 	"radcrit/internal/arch"
 	"radcrit/internal/k40"
 	"radcrit/internal/kernels"
@@ -12,6 +9,7 @@ import (
 	"radcrit/internal/kernels/hotspot"
 	"radcrit/internal/kernels/lavamd"
 	"radcrit/internal/phi"
+	"radcrit/internal/registry"
 )
 
 // Scale selects experiment sizing: the paper's configurations (Table II)
@@ -82,38 +80,20 @@ func CLAMRConfig(s Scale) (side, steps int) {
 	return 48, 60
 }
 
-// Iterative kernels carry precomputed golden state; cache them per config.
-var (
-	hotspotCache sync.Map // "side/iters" -> *hotspot.Kernel
-	clamrCache   sync.Map // "side/steps" -> *clamr.Kernel
-)
+// Iterative kernels carry precomputed golden state; the registry memoises
+// them per configuration, so a preset-built kernel and a plan cell naming
+// the same configuration share one golden timeline.
 
 // HotSpotKernel returns the cached HotSpot instance for the scale.
 func HotSpotKernel(s Scale) *hotspot.Kernel {
 	side, iters := HotSpotConfig(s)
-	key := fmt.Sprintf("%d/%d", side, iters)
-	if v, ok := hotspotCache.Load(key); ok {
-		return v.(*hotspot.Kernel)
-	}
-	k := hotspot.New(side, iters)
-	if v, loaded := hotspotCache.LoadOrStore(key, k); loaded {
-		return v.(*hotspot.Kernel)
-	}
-	return k
+	return registry.HotSpot(side, iters)
 }
 
 // CLAMRKernel returns the cached CLAMR instance for the scale.
 func CLAMRKernel(s Scale) *clamr.Kernel {
 	side, steps := CLAMRConfig(s)
-	key := fmt.Sprintf("%d/%d", side, steps)
-	if v, ok := clamrCache.Load(key); ok {
-		return v.(*clamr.Kernel)
-	}
-	k := clamr.New(side, steps)
-	if v, loaded := clamrCache.LoadOrStore(key, k); loaded {
-		return v.(*clamr.Kernel)
-	}
-	return k
+	return registry.CLAMR(side, steps)
 }
 
 // AllKernels returns one instance of each benchmark at the scale's

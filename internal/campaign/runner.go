@@ -1,0 +1,382 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"radcrit/internal/fit"
+	"radcrit/internal/injector"
+)
+
+// Summary is one cell's aggregated statistics under the plan's
+// thresholds. Both the batch and the streaming engines produce it — from
+// retained reports and from online reducers respectively — and the two
+// are bit-identical for a given plan (pinned by the golden suite), so
+// consumers can switch engines without re-baselining.
+type Summary struct {
+	// Thresholds are the relative-error filters (percent) the per-index
+	// slices below are computed under.
+	Thresholds []float64
+	// Tally is the outcome census of the cell.
+	Tally injector.Tally
+	// SDCFIT[k] is the SDC failure rate (FIT, arbitrary units) under
+	// Thresholds[k].
+	SDCFIT []float64
+	// Locality[k] is the spatial-pattern FIT breakdown under
+	// Thresholds[k].
+	Locality []fit.Breakdown
+	// FilteredFraction[k] is the share of SDC executions fully cleared by
+	// Thresholds[k].
+	FilteredFraction []float64
+	// DUEFIT is the crash+hang failure rate.
+	DUEFIT float64
+}
+
+// CellOutcome is one plan cell's execution record.
+type CellOutcome struct {
+	// Spec is the cell as the plan named it.
+	Spec CellSpec
+	// Info is the resolved cell identity and exposure (zero if the cell
+	// failed before its session was established). On a cancelled
+	// streaming cell both Info and Summary are rescaled to the strikes
+	// actually consumed, so rates derived from either are consistent.
+	Info StreamInfo
+	// Summary holds the cell's statistics; on a cancelled streaming cell
+	// it holds the chunk-aligned partial state accumulated so far. Nil
+	// when the cell failed outright.
+	Summary *Summary
+	// Result is the retained batch result (nil under StreamRunner, whose
+	// point is not retaining reports).
+	Result *Result
+	// Err is the cell's failure: a *CellError for an invalid cell, or
+	// ctx.Err() if the run was cancelled while this cell was in flight.
+	Err error
+}
+
+// PlanResult is a Runner's record of one plan execution, cell for cell in
+// plan order. A cancelled or partially failed run still returns a
+// PlanResult holding every outcome gathered so far.
+type PlanResult struct {
+	// Plan is the executed plan.
+	Plan *Plan
+	// Thresholds are the effective summary thresholds.
+	Thresholds []float64
+	// Cells holds one outcome per plan cell. On early cancellation the
+	// tail cells carry Err == ctx.Err() and no summary.
+	Cells []*CellOutcome
+}
+
+// Err joins the per-cell errors (nil when every cell succeeded).
+func (r *PlanResult) Err() error {
+	var errs []error
+	for _, c := range r.Cells {
+		if c != nil && c.Err != nil {
+			errs = append(errs, c.Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Progress carries a Runner's optional observation hooks. Hooks are
+// invoked synchronously; MatrixRunner serialises OnCell calls, so hooks
+// never need their own locking.
+type Progress struct {
+	// OnCell fires when a cell completes (successfully or not), with its
+	// plan index.
+	OnCell func(i int, out *CellOutcome)
+	// OnChunk fires at every streaming chunk boundary with the number of
+	// strikes consumed so far; only StreamRunner emits it.
+	OnChunk func(cell int, done int)
+}
+
+// Runner executes a validated plan under a context. Implementations
+// honour cancellation at chunk boundaries, return the partial PlanResult
+// gathered so far together with ctx.Err(), and leak no goroutines. An
+// invalid plan is rejected up front (Plan.Validate) — no panic is
+// reachable from any Runner for any plan value.
+type Runner interface {
+	Run(ctx context.Context, p *Plan) (*PlanResult, error)
+}
+
+// BatchRunner executes cells sequentially through the memoised batch
+// engine: every CellOutcome retains its full *Result (reports included),
+// and cells shared with other plans or figure builders are computed once.
+// Memory is O(total SDC reports); prefer StreamRunner for huge strike
+// budgets.
+type BatchRunner struct {
+	Progress Progress
+}
+
+// MatrixRunner is BatchRunner with cell-level concurrency: all cells run
+// at once (each memoised and single-flighted), composing with the
+// per-cell worker pool exactly like RunMatrix. Outcomes are still
+// reported in plan order.
+type MatrixRunner struct {
+	Progress Progress
+}
+
+// StreamRunner executes cells sequentially through the streaming engine:
+// summaries come from online reducers, no reports are retained, and peak
+// memory per cell is O(StreamChunk + reducer state). A cancelled cell's
+// outcome keeps the partial reducer state accumulated up to the last
+// complete chunk.
+type StreamRunner struct {
+	Progress Progress
+}
+
+var (
+	_ Runner = (*BatchRunner)(nil)
+	_ Runner = (*MatrixRunner)(nil)
+	_ Runner = (*StreamRunner)(nil)
+)
+
+// planStart validates and builds the plan (honouring ctx between kernel
+// constructions — the golden simulations happen here) and allocates the
+// shared result shell. An invalid plan returns (nil, nil, err); a
+// cancellation during the build phase returns the shell with every cell
+// marked ctx.Err(), honouring the Runner contract that a cancelled run
+// always yields a partial PlanResult.
+func planStart(ctx context.Context, p *Plan) (*PlanResult, []Cell, error) {
+	cells, err := p.BuildCtx(ctx)
+	if err != nil {
+		if isCancellation(err) {
+			res := planShell(p)
+			markCancelled(res.Cells, err)
+			return res, nil, err
+		}
+		return nil, nil, err
+	}
+	return planShell(p), cells, nil
+}
+
+// planShell allocates a PlanResult with one empty outcome per plan cell.
+func planShell(p *Plan) *PlanResult {
+	res := &PlanResult{
+		Plan:       p,
+		Thresholds: p.EffectiveThresholds(),
+		Cells:      make([]*CellOutcome, len(p.Cells)),
+	}
+	for i := range res.Cells {
+		res.Cells[i] = &CellOutcome{Spec: p.Cells[i]}
+	}
+	return res
+}
+
+// batchSummary derives a Summary from a retained batch Result.
+func batchSummary(res *Result, ts []float64) *Summary {
+	s := &Summary{
+		Thresholds: append([]float64(nil), ts...),
+		Tally:      res.Tally,
+		DUEFIT:     res.DUEFIT(),
+	}
+	for _, t := range ts {
+		s.SDCFIT = append(s.SDCFIT, res.SDCFIT(t))
+		s.Locality = append(s.Locality, res.LocalityBreakdown(t))
+		s.FilteredFraction = append(s.FilteredFraction, res.FilteredFraction(t))
+	}
+	return s
+}
+
+// runBatchCell executes one resolved cell through the memoised engine and
+// fills its outcome.
+func runBatchCell(ctx context.Context, cell Cell, cfg Config, ts []float64, out *CellOutcome) {
+	res, err := RunCtx(ctx, cell.Dev, cell.Kern, cfg)
+	if err != nil {
+		out.Err = err
+		return
+	}
+	out.Result = res
+	out.Info = StreamInfo{
+		Device:   res.Device,
+		Kernel:   res.Kernel,
+		Input:    res.Input,
+		Profile:  res.Profile,
+		Strikes:  res.Strikes,
+		Exposure: res.Exposure,
+	}
+	out.Summary = batchSummary(res, ts)
+}
+
+// Run implements Runner.
+func (r *BatchRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
+	res, cells, err := planStart(ctx, p)
+	if err != nil {
+		// res is non-nil (with cells marked) for build-phase cancellation,
+		// nil for an invalid plan.
+		return res, err
+	}
+	for i, cell := range cells {
+		if cerr := ctx.Err(); cerr != nil {
+			markCancelled(res.Cells[i:], cerr)
+			return res, cerr
+		}
+		runBatchCell(ctx, cell, p.Config(), res.Thresholds, res.Cells[i])
+		if r.Progress.OnCell != nil {
+			r.Progress.OnCell(i, res.Cells[i])
+		}
+		if isCancellation(res.Cells[i].Err) {
+			markCancelled(res.Cells[i+1:], res.Cells[i].Err)
+			return res, ctx.Err()
+		}
+	}
+	return res, res.Err()
+}
+
+// Run implements Runner.
+func (r *MatrixRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
+	res, cells, err := planStart(ctx, p)
+	if err != nil {
+		// res is non-nil (with cells marked) for build-phase cancellation,
+		// nil for an invalid plan.
+		return res, err
+	}
+	var mu sync.Mutex // serialises Progress.OnCell
+	var wg sync.WaitGroup
+	wg.Add(len(cells))
+	for i, cell := range cells {
+		go func(i int, cell Cell) {
+			defer wg.Done()
+			runBatchCell(ctx, cell, p.Config(), res.Thresholds, res.Cells[i])
+			if r.Progress.OnCell != nil {
+				mu.Lock()
+				r.Progress.OnCell(i, res.Cells[i])
+				mu.Unlock()
+			}
+		}(i, cell)
+	}
+	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
+	}
+	return res, res.Err()
+}
+
+// markCancelled stamps ctx's error on outcomes the runner never reached.
+func markCancelled(outs []*CellOutcome, err error) {
+	for _, o := range outs {
+		if o.Err == nil && o.Summary == nil {
+			o.Err = err
+		}
+	}
+}
+
+// streamReducers is the reducer stack a StreamRunner attaches per cell.
+type streamReducers struct {
+	tally  *TallyReducer
+	counts *SDCCountReducer
+	locs   []*LocalityReducer
+	fracs  []*FilteredFractionReducer
+}
+
+func newStreamReducers(ts []float64) *streamReducers {
+	r := &streamReducers{
+		tally:  NewTallyReducer(),
+		counts: NewSDCCountReducer(ts...),
+	}
+	for _, t := range ts {
+		r.locs = append(r.locs, NewLocalityReducer(t))
+		r.fracs = append(r.fracs, NewFilteredFractionReducer(t))
+	}
+	return r
+}
+
+// consumed counts the strikes the reducer stack has actually seen.
+func (r *streamReducers) consumed() int {
+	t := r.tally.Tally
+	return t.Masked + t.SDC + t.Crash + t.Hang
+}
+
+// prefixInfo rescales a cell's exposure to the strikes consumed before a
+// cancellation, so partial FIT values are true rates over the prefix.
+func prefixInfo(info StreamInfo, consumed int) StreamInfo {
+	info.Strikes = consumed
+	info.Exposure.BeamHours = info.Exposure.HoursForStrikes(float64(consumed))
+	return info
+}
+
+func (r *streamReducers) sinks() []Sink {
+	sinks := []Sink{r.tally, r.counts}
+	for _, l := range r.locs {
+		sinks = append(sinks, l)
+	}
+	for _, f := range r.fracs {
+		sinks = append(sinks, f)
+	}
+	return sinks
+}
+
+// summary folds the reducer state under the cell's exposure. It is valid
+// on partial (cancelled) state too: every statistic is over the
+// chunk-aligned prefix consumed so far.
+func (r *streamReducers) summary(ts []float64, info StreamInfo) *Summary {
+	s := &Summary{
+		Thresholds: append([]float64(nil), ts...),
+		Tally:      r.tally.Tally,
+		DUEFIT:     fit.FITFromCampaign(r.tally.Tally.Crash+r.tally.Tally.Hang, info.Exposure),
+	}
+	for k := range ts {
+		s.SDCFIT = append(s.SDCFIT, r.counts.FIT(k, info.Exposure))
+		s.Locality = append(s.Locality, r.locs[k].Breakdown(info.Exposure))
+		s.FilteredFraction = append(s.FilteredFraction, r.fracs[k].Fraction())
+	}
+	return s
+}
+
+// chunkRelay forwards chunk boundaries to a Progress hook.
+type chunkRelay struct {
+	cell int
+	fn   func(cell, done int)
+}
+
+func (c *chunkRelay) Consume(int, injector.Outcome) {}
+func (c *chunkRelay) FlushChunk(next int)           { c.fn(c.cell, next) }
+
+// Run implements Runner.
+func (r *StreamRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
+	res, cells, err := planStart(ctx, p)
+	if err != nil {
+		// res is non-nil (with cells marked) for build-phase cancellation,
+		// nil for an invalid plan.
+		return res, err
+	}
+	cfg := p.Config()
+	for i, cell := range cells {
+		out := res.Cells[i]
+		if cerr := ctx.Err(); cerr != nil {
+			markCancelled(res.Cells[i:], cerr)
+			return res, cerr
+		}
+		red := newStreamReducers(res.Thresholds)
+		sinks := red.sinks()
+		if r.Progress.OnChunk != nil {
+			sinks = append(sinks, &chunkRelay{cell: i, fn: r.Progress.OnChunk})
+		}
+		info, err := RunStreamingCtx(ctx, cell.Dev, cell.Kern, cfg, sinks...)
+		out.Info = info
+		if err != nil {
+			out.Err = err
+			if isCancellation(err) {
+				// The reducers hold a meaningful chunk-aligned prefix:
+				// surface it as the cell's partial summary, under the
+				// exposure of the strikes actually consumed — against the
+				// full planned exposure the FIT rates would be biased low
+				// by the cancelled fraction. Info is rescaled the same
+				// way so Tally-over-Info arithmetic stays unbiased too.
+				out.Info = prefixInfo(info, red.consumed())
+				out.Summary = red.summary(res.Thresholds, out.Info)
+				if r.Progress.OnCell != nil {
+					r.Progress.OnCell(i, out)
+				}
+				markCancelled(res.Cells[i+1:], err)
+				return res, ctx.Err()
+			}
+		} else {
+			out.Summary = red.summary(res.Thresholds, info)
+		}
+		if r.Progress.OnCell != nil {
+			r.Progress.OnCell(i, out)
+		}
+	}
+	return res, res.Err()
+}

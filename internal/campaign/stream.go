@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -66,7 +67,7 @@ type StreamInfo struct {
 func CellInfo(dev arch.Device, kern kernels.Kernel, cfg Config) (StreamInfo, error) {
 	ses, err := injector.NewSession(dev, kern)
 	if err != nil {
-		return StreamInfo{}, fmt.Errorf("campaign: %v", err)
+		return StreamInfo{}, cellError(dev, kern, err)
 	}
 	return cellInfo(ses, dev, kern, cfg), nil
 }
@@ -101,7 +102,13 @@ func cellInfo(ses *injector.Session, dev arch.Device, kern kernels.Kernel, cfg C
 // within a chunk fan out over the Config.Workers pool with per-index RNG
 // splits, so the outcome stream is bit-identical for any worker count.
 func RunStreaming(dev arch.Device, kern kernels.Kernel, cfg Config, sinks ...Sink) (StreamInfo, error) {
-	return RunStreamingFrom(dev, kern, cfg, 0, sinks...)
+	return RunStreamingFromCtx(context.Background(), dev, kern, cfg, 0, sinks...)
+}
+
+// RunStreamingCtx is RunStreaming under a context: cancellation is
+// honoured at chunk boundaries (see RunStreamingFromCtx).
+func RunStreamingCtx(ctx context.Context, dev arch.Device, kern kernels.Kernel, cfg Config, sinks ...Sink) (StreamInfo, error) {
+	return RunStreamingFromCtx(ctx, dev, kern, cfg, 0, sinks...)
 }
 
 // RunStreamingFrom is RunStreaming restarted at strike index start: it
@@ -111,9 +118,20 @@ func RunStreaming(dev arch.Device, kern kernels.Kernel, cfg Config, sinks ...Sin
 // of checkpoint/resume (a crashed campaign re-runs only the strikes after
 // its last flushed checkpoint).
 func RunStreamingFrom(dev arch.Device, kern kernels.Kernel, cfg Config, start int, sinks ...Sink) (StreamInfo, error) {
+	return RunStreamingFromCtx(context.Background(), dev, kern, cfg, start, sinks...)
+}
+
+// RunStreamingFromCtx is RunStreamingFrom under a context. Cancellation is
+// graceful and chunk-aligned: a chunk whose execution was interrupted is
+// discarded whole, so the sinks always observe a chunk-aligned prefix of
+// the deterministic outcome stream — partial reducer state remains
+// meaningful, and a CheckpointSink's log stays recoverable. The engine
+// then stops and returns ctx.Err() alongside the cell's StreamInfo; no
+// worker goroutine outlives the call.
+func RunStreamingFromCtx(ctx context.Context, dev arch.Device, kern kernels.Kernel, cfg Config, start int, sinks ...Sink) (StreamInfo, error) {
 	ses, err := injector.NewSession(dev, kern)
 	if err != nil {
-		return StreamInfo{}, fmt.Errorf("campaign: %v", err)
+		return StreamInfo{}, cellError(dev, kern, err)
 	}
 	info := cellInfo(ses, dev, kern, cfg)
 	rng := xrand.New(cfg.Seed).
@@ -130,13 +148,21 @@ func RunStreamingFrom(dev arch.Device, kern kernels.Kernel, cfg Config, start in
 	}
 	buf := make([]injector.Outcome, min(chunk, max(cfg.Strikes-start, 0)))
 	for base := start; base < cfg.Strikes; base += chunk {
+		if err := ctx.Err(); err != nil {
+			return info, err
+		}
 		n := min(chunk, cfg.Strikes-base)
-		par.For(n, cfg.Workers, func(j int) {
+		err := par.ForCtx(ctx, n, cfg.Workers, func(j int) {
 			i := base + j
 			sub := rng.Split(uint64(i) + 1)
 			strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
 			buf[j] = ses.RunOne(strike, sub)
 		})
+		if err != nil {
+			// The chunk may be partially executed: discard it whole so the
+			// sinks keep their chunk-aligned prefix.
+			return info, err
+		}
 		for j := 0; j < n; j++ {
 			for _, s := range sinks {
 				s.Consume(base+j, buf[j])

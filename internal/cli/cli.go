@@ -1,0 +1,149 @@
+// Package cli is the shared command-line surface of the cmd/ tools: one
+// registry-backed way to pick devices and kernels, load declarative plan
+// files, and assemble campaign configuration. Before the plan API every
+// binary re-implemented its own device/kernel string switch; now a tool
+// binds the shared flags, keeps only its tool-specific ones, and anything
+// registered with internal/registry — built-in or third-party — is
+// addressable from every tool at once.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/campaign"
+	"radcrit/internal/kernels"
+	"radcrit/internal/registry"
+)
+
+// CampaignFlags are the flags shared by the campaign-running tools.
+type CampaignFlags struct {
+	Plan    string
+	Device  string
+	Kernel  string
+	Strikes int
+	Seed    uint64
+	Scale   string
+	Workers int
+}
+
+// Bind registers the shared flags on fs, seeding them from the receiver's
+// current values (the tool's defaults). Tools with a fixed kernel family
+// (abftscan is DGEMM-only) pass withKernel=false to skip -kernel.
+func (c *CampaignFlags) Bind(fs *flag.FlagSet, withKernel bool) {
+	fs.StringVar(&c.Plan, "plan", c.Plan,
+		"JSON campaign plan `file`; the plan supplies the whole campaign, so the other shared flags (-device/-kernel/-strikes/-seed/-scale/-workers) are ignored")
+	fs.StringVar(&c.Device, "device", c.Device,
+		"device name: "+strings.Join(registry.DeviceNames(), ", "))
+	if withKernel {
+		fs.StringVar(&c.Kernel, "kernel", c.Kernel,
+			"kernel spec, e.g. "+strings.Join(registry.KernelNames(), ", ")+
+				" with optional :params (dgemm:1024, hotspot:1024x400); bare names take the scale default")
+	}
+	fs.IntVar(&c.Strikes, "strikes", c.Strikes, "particle strikes to simulate per cell")
+	fs.Uint64Var(&c.Seed, "seed", c.Seed, "campaign seed")
+	fs.StringVar(&c.Scale, "scale", c.Scale, "experiment scale: test or paper")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "strike worker pool size (0 = GOMAXPROCS)")
+}
+
+// ScaleValue parses the -scale flag.
+func (c *CampaignFlags) ScaleValue() (campaign.Scale, error) {
+	switch c.Scale {
+	case "", "test":
+		return campaign.TestScale, nil
+	case "paper":
+		return campaign.PaperScale, nil
+	default:
+		return campaign.TestScale, fmt.Errorf("-scale must be test or paper, got %q", c.Scale)
+	}
+}
+
+// ResolveDevice constructs the -device selection through the registry.
+func (c *CampaignFlags) ResolveDevice() (arch.Device, error) {
+	return registry.NewDevice(c.Device)
+}
+
+// ResolveKernel constructs the -kernel selection through the registry,
+// filling in the scale's default params for bare built-in family names
+// ("dgemm" at test scale on the K40 means "dgemm:128").
+func (c *CampaignFlags) ResolveKernel(dev arch.Device) (kernels.Kernel, error) {
+	s, err := c.ScaleValue()
+	if err != nil {
+		return nil, err
+	}
+	return registry.NewKernel(DefaultSpec(c.Kernel, s, dev))
+}
+
+// DefaultSpec completes a built-in kernel family name that carries no
+// params ("dgemm", and aberrations like "dgemm:") with the scale's
+// default; full specs and unknown families pass through untouched. The
+// result is rebuilt from the split name so a trailing colon cannot leak
+// into the params.
+func DefaultSpec(spec string, s campaign.Scale, dev arch.Device) string {
+	name, params := registry.SplitSpec(spec)
+	if params != "" {
+		return spec
+	}
+	switch name {
+	case "dgemm":
+		return name + ":" + strconv.Itoa(campaign.DGEMMSizes(s, dev)[0])
+	case "lavamd":
+		return name + ":" + strconv.Itoa(campaign.LavaMDSizes(s, dev)[0])
+	case "hotspot":
+		side, iters := campaign.HotSpotConfig(s)
+		return fmt.Sprintf("%s:%dx%d", name, side, iters)
+	case "clamr":
+		side, steps := campaign.CLAMRConfig(s)
+		return fmt.Sprintf("%s:%dx%d", name, side, steps)
+	}
+	return spec
+}
+
+// LoadPlanFile reads and validates the JSON plan at path.
+func LoadPlanFile(path string) (*campaign.Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := campaign.LoadPlan(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// ResolvePlan returns the tool's effective plan: the -plan file when
+// given, otherwise a single-cell plan assembled from the shared flags.
+// The kernel spec's scale defaults are applied against the -device
+// selection, exactly as the pre-plan tools defaulted their -size flags.
+func (c *CampaignFlags) ResolvePlan() (*campaign.Plan, error) {
+	if c.Plan != "" {
+		return LoadPlanFile(c.Plan)
+	}
+	s, err := c.ScaleValue()
+	if err != nil {
+		return nil, err
+	}
+	dev, err := c.ResolveDevice()
+	if err != nil {
+		return nil, err
+	}
+	p := campaign.NewPlan(c.Seed, c.Strikes).
+		WithWorkers(c.Workers).
+		WithCell(c.Device, DefaultSpec(c.Kernel, s, dev))
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Fatal prints "tool: message" to stderr and exits 1.
+func Fatal(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/registry"
+)
+
+func TestDefaultSpec(t *testing.T) {
+	k40, err := registry.NewDevice("k40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := registry.NewDevice("phi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		spec  string
+		scale campaign.Scale
+		dev   string
+		want  string
+	}{
+		{"dgemm", campaign.TestScale, "k40", "dgemm:128"},
+		{"dgemm", campaign.PaperScale, "k40", "dgemm:1024"},
+		{"lavamd", campaign.TestScale, "phi", "lavamd:3"},
+		{"hotspot", campaign.TestScale, "k40", "hotspot:64x80"},
+		{"clamr", campaign.TestScale, "k40", "clamr:48x60"},
+		{"dgemm:", campaign.TestScale, "k40", "dgemm:128"},    // trailing colon = no params
+		{"dgemm:512", campaign.TestScale, "k40", "dgemm:512"}, // explicit params pass through
+		{"mystery", campaign.TestScale, "k40", "mystery"},     // unknown families untouched
+	}
+	for _, c := range cases {
+		dev := k40
+		if c.dev == "phi" {
+			dev = phi
+		}
+		if got := DefaultSpec(c.spec, c.scale, dev); got != c.want {
+			t.Errorf("DefaultSpec(%q, %v, %s) = %q, want %q", c.spec, c.scale, c.dev, got, c.want)
+		}
+	}
+}
+
+func TestResolvePlanFromFlags(t *testing.T) {
+	c := CampaignFlags{Device: "k40", Kernel: "dgemm", Strikes: 40, Seed: 5, Scale: "test", Workers: 2}
+	p, err := c.ResolvePlan()
+	if err != nil {
+		t.Fatalf("ResolvePlan: %v", err)
+	}
+	if len(p.Cells) != 1 || p.Cells[0] != (campaign.CellSpec{Device: "k40", Kernel: "dgemm:128"}) {
+		t.Errorf("cells = %+v", p.Cells)
+	}
+	if p.Seed != 5 || p.Strikes != 40 || p.Workers != 2 {
+		t.Errorf("plan = %+v", p)
+	}
+
+	c.Device = "gtx"
+	if _, err := c.ResolvePlan(); err == nil {
+		t.Errorf("unknown device accepted")
+	}
+	c.Device = "k40"
+	c.Scale = "huge"
+	if _, err := c.ResolvePlan(); err == nil {
+		t.Errorf("bad scale accepted")
+	}
+}
+
+func TestResolvePlanFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	good := `{"seed":3,"strikes":25,"cells":[{"device":"phi","kernel":"lavamd:3"}]}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := CampaignFlags{Plan: path}
+	p, err := c.ResolvePlan()
+	if err != nil {
+		t.Fatalf("ResolvePlan(file): %v", err)
+	}
+	if p.Seed != 3 || p.Strikes != 25 || len(p.Cells) != 1 {
+		t.Errorf("plan = %+v", p)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"seed":3,"strikes":0,"cells":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Plan = bad
+	if _, err := c.ResolvePlan(); err == nil {
+		t.Errorf("invalid plan file accepted")
+	}
+	c.Plan = filepath.Join(dir, "missing.json")
+	if _, err := c.ResolvePlan(); err == nil {
+		t.Errorf("missing plan file accepted")
+	}
+}
+
+func TestBindRegistersFlags(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	c := CampaignFlags{Device: "k40", Kernel: "dgemm", Strikes: 10, Seed: 1, Scale: "test"}
+	c.Bind(fs, true)
+	if err := fs.Parse([]string{"-device", "phi", "-kernel", "clamr:48x60", "-strikes", "77", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Device != "phi" || c.Kernel != "clamr:48x60" || c.Strikes != 77 || c.Workers != 3 {
+		t.Errorf("parsed flags = %+v", c)
+	}
+
+	fs2 := flag.NewFlagSet("tool2", flag.ContinueOnError)
+	c2 := CampaignFlags{Device: "k40"}
+	c2.Bind(fs2, false)
+	if fs2.Lookup("kernel") != nil {
+		t.Errorf("withKernel=false still bound -kernel")
+	}
+}

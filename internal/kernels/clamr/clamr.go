@@ -119,12 +119,22 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 
 var _ kernels.Kernel = (*Kernel)(nil)
 
+// Check reports whether (side, steps) is a valid CLAMR configuration
+// without running the golden simulation: the non-panicking face of New's
+// precondition, used by plan validation.
+func Check(side, steps int) error {
+	if side < 16 || steps < RefineInterval {
+		return fmt.Errorf("clamr: invalid config side=%d steps=%d", side, steps)
+	}
+	return nil
+}
+
 // New returns a CLAMR kernel. The paper's standard problem starts from a
 // 512x512 mesh and runs 5,000 timesteps; smaller configurations preserve
 // the same wave physics for testing.
 func New(side, steps int) *Kernel {
-	if side < 16 || steps < RefineInterval {
-		panic(fmt.Sprintf("clamr: invalid config side=%d steps=%d", side, steps))
+	if err := Check(side, steps); err != nil {
+		panic(err.Error())
 	}
 	k := &Kernel{side: side, steps: steps, seed: 0xC1A + uint64(side), snapEvery: 32}
 	k.computeGolden()

@@ -41,11 +41,21 @@ type Kernel struct {
 
 var _ kernels.Kernel = (*Kernel)(nil)
 
+// Check reports whether n is a valid DGEMM input size without building
+// anything: the non-panicking face of New's precondition, used by plan
+// validation.
+func Check(n int) error {
+	if n <= 0 || n%TileSize != 0 {
+		return fmt.Errorf("dgemm: size %d not a positive multiple of %d", n, TileSize)
+	}
+	return nil
+}
+
 // New returns an n x n DGEMM kernel. n must be a positive multiple of
 // TileSize (the paper sweeps powers of two from 1024 to 8192).
 func New(n int) *Kernel {
-	if n <= 0 || n%TileSize != 0 {
-		panic(fmt.Sprintf("dgemm: size %d not a positive multiple of %d", n, TileSize))
+	if err := Check(n); err != nil {
+		panic(err.Error())
 	}
 	return &Kernel{n: n, seedA: 0xA0A0 + uint64(n), seedB: 0xB0B0 + uint64(n)}
 }

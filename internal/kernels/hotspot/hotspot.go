@@ -90,11 +90,21 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 
 var _ kernels.Kernel = (*Kernel)(nil)
 
+// Check reports whether (side, iters) is a valid HotSpot configuration
+// without running the golden simulation: the non-panicking face of New's
+// precondition, used by plan validation.
+func Check(side, iters int) error {
+	if side < 8 || iters < 2 {
+		return fmt.Errorf("hotspot: invalid config side=%d iters=%d", side, iters)
+	}
+	return nil
+}
+
 // New returns a HotSpot kernel. The paper's configuration is 1024x1024
 // cells; iters controls simulated time steps.
 func New(side, iters int) *Kernel {
-	if side < 8 || iters < 2 {
-		panic(fmt.Sprintf("hotspot: invalid config side=%d iters=%d", side, iters))
+	if err := Check(side, iters); err != nil {
+		panic(err.Error())
 	}
 	k := &Kernel{side: side, iters: iters, seed: 0x407 + uint64(side)}
 	k.initPower()

@@ -66,11 +66,21 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 
 var _ kernels.Kernel = (*Kernel)(nil)
 
+// Check reports whether g is a valid box-grid size without building
+// anything: the non-panicking face of New's precondition, used by plan
+// validation.
+func Check(g int) error {
+	if g < 2 {
+		return fmt.Errorf("lavamd: grid size %d too small", g)
+	}
+	return nil
+}
+
 // New returns a LavaMD kernel with g boxes per dimension (the paper uses
 // 13, 15, 19 and 23).
 func New(g int) *Kernel {
-	if g < 2 {
-		panic(fmt.Sprintf("lavamd: grid size %d too small", g))
+	if err := Check(g); err != nil {
+		panic(err.Error())
 	}
 	return &Kernel{g: g, seed: 0x1A7A + uint64(g)}
 }

@@ -16,6 +16,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,8 +31,21 @@ const maxChunk = 64
 // plain serial loop when one worker (or one item) makes a pool pointless,
 // so callers need no serial fallback of their own.
 func For(n, workers int, fn func(i int)) {
+	// context.Background is never done, so ForCtx cannot return an error.
+	_ = ForCtx(context.Background(), n, workers, fn)
+}
+
+// ForCtx is For under a context: workers re-check ctx each time they claim
+// a chunk from the shared cursor and stop claiming once it is cancelled.
+// In-flight items finish (fn is never interrupted mid-call) and every
+// worker goroutine has exited by the time ForCtx returns, so cancellation
+// leaks nothing; it returns ctx.Err() when the loop stopped early and nil
+// when every index ran. Callers that need a consistent result set must
+// treat a non-nil return as "an unspecified subset of indices ran" — the
+// campaign engines discard the whole chunk.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -40,19 +54,28 @@ func For(n, workers int, fn func(i int)) {
 		workers = n
 	}
 	if workers == 1 {
+		chunk := chunkSize(n, 1)
 		for i := 0; i < n; i++ {
+			if i%chunk == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	chunk := chunkSize(n, workers)
 	var cursor atomic.Int64
+	var stopped atomic.Bool
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
 				end := int(cursor.Add(int64(chunk)))
 				start := end - chunk
 				if start >= n {
@@ -68,6 +91,10 @@ func For(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // chunkSize aims for several chunks per worker (load balance for irregular

@@ -1,0 +1,151 @@
+package registry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/k40"
+	"radcrit/internal/kernels"
+	"radcrit/internal/kernels/clamr"
+	"radcrit/internal/kernels/dgemm"
+	"radcrit/internal/kernels/hotspot"
+	"radcrit/internal/kernels/lavamd"
+	"radcrit/internal/phi"
+)
+
+// The paper's devices and kernels self-register here: "k40" and "phi"
+// devices; "dgemm:N", "lavamd:G", "hotspot:SIDExITERS" and
+// "clamr:SIDExSTEPS" kernel families.
+func init() {
+	RegisterDevice("k40", func() (arch.Device, error) { return k40.New(), nil })
+	RegisterDevice("phi", func() (arch.Device, error) { return phi.New(), nil })
+
+	RegisterKernel("dgemm", KernelEntry{
+		Validate: func(params string) error {
+			n, err := intParam(params, "matrix side")
+			if err != nil {
+				return err
+			}
+			return dgemm.Check(n)
+		},
+		Make: func(params string) (kernels.Kernel, error) {
+			n, err := intParam(params, "matrix side")
+			if err != nil {
+				return nil, err
+			}
+			return dgemm.New(n), nil
+		},
+	})
+	RegisterKernel("lavamd", KernelEntry{
+		Validate: func(params string) error {
+			g, err := intParam(params, "box-grid size")
+			if err != nil {
+				return err
+			}
+			return lavamd.Check(g)
+		},
+		Make: func(params string) (kernels.Kernel, error) {
+			g, err := intParam(params, "box-grid size")
+			if err != nil {
+				return nil, err
+			}
+			return lavamd.New(g), nil
+		},
+	})
+	RegisterKernel("hotspot", KernelEntry{
+		Validate: func(params string) error {
+			side, iters, err := pairParam(params, "SIDExITERS")
+			if err != nil {
+				return err
+			}
+			return hotspot.Check(side, iters)
+		},
+		Make: func(params string) (kernels.Kernel, error) {
+			side, iters, err := pairParam(params, "SIDExITERS")
+			if err != nil {
+				return nil, err
+			}
+			return HotSpot(side, iters), nil
+		},
+	})
+	RegisterKernel("clamr", KernelEntry{
+		Validate: func(params string) error {
+			side, steps, err := pairParam(params, "SIDExSTEPS")
+			if err != nil {
+				return err
+			}
+			return clamr.Check(side, steps)
+		},
+		Make: func(params string) (kernels.Kernel, error) {
+			side, steps, err := pairParam(params, "SIDExSTEPS")
+			if err != nil {
+				return nil, err
+			}
+			return CLAMR(side, steps), nil
+		},
+	})
+}
+
+// intParam parses a single positive-integer params string.
+func intParam(params, what string) (int, error) {
+	if params == "" {
+		return 0, fmt.Errorf("missing %s (e.g. \"dgemm:1024\")", what)
+	}
+	n, err := strconv.Atoi(params)
+	if err != nil {
+		return 0, fmt.Errorf("%s %q is not an integer", what, params)
+	}
+	return n, nil
+}
+
+// pairParam parses an "AxB" params string (e.g. "1024x400").
+func pairParam(params, shape string) (a, b int, err error) {
+	first, second, ok := strings.Cut(params, "x")
+	if !ok || params == "" {
+		return 0, 0, fmt.Errorf("params %q do not match %s", params, shape)
+	}
+	if a, err = strconv.Atoi(first); err != nil {
+		return 0, 0, fmt.Errorf("params %q do not match %s", params, shape)
+	}
+	if b, err = strconv.Atoi(second); err != nil {
+		return 0, 0, fmt.Errorf("params %q do not match %s", params, shape)
+	}
+	return a, b, nil
+}
+
+// The iterative kernels run a golden simulation at construction, so their
+// instances are memoised per configuration: every consumer of one
+// configuration — plans, presets, CLI flags — shares one golden timeline.
+var (
+	hotspotCache sync.Map // "side/iters" -> *hotspot.Kernel
+	clamrCache   sync.Map // "side/steps" -> *clamr.Kernel
+)
+
+// HotSpot returns the memoised HotSpot instance for (side, iters).
+func HotSpot(side, iters int) *hotspot.Kernel {
+	key := fmt.Sprintf("%d/%d", side, iters)
+	if v, ok := hotspotCache.Load(key); ok {
+		return v.(*hotspot.Kernel)
+	}
+	k := hotspot.New(side, iters)
+	if v, loaded := hotspotCache.LoadOrStore(key, k); loaded {
+		return v.(*hotspot.Kernel)
+	}
+	return k
+}
+
+// CLAMR returns the memoised CLAMR instance for (side, steps).
+func CLAMR(side, steps int) *clamr.Kernel {
+	key := fmt.Sprintf("%d/%d", side, steps)
+	if v, ok := clamrCache.Load(key); ok {
+		return v.(*clamr.Kernel)
+	}
+	k := clamr.New(side, steps)
+	if v, loaded := clamrCache.LoadOrStore(key, k); loaded {
+		return v.(*clamr.Kernel)
+	}
+	return k
+}

@@ -1,0 +1,227 @@
+// Package registry is the name-to-constructor index behind declarative
+// experiment plans: devices and kernels are registered under short names
+// ("k40", "dgemm") and constructed from "name" or "name:params" specs, so
+// a campaign cell can live in a JSON file or a command-line flag instead
+// of a hand-rolled switch statement. The built-in devices and kernels of
+// the paper self-register at init (builtins.go); third-party scenarios
+// plug in through RegisterDevice/RegisterKernel without touching the
+// facade or the campaign engines.
+//
+// Construction and validation are deliberately split: Kernel.Validate
+// checks a params string against the kernel's preconditions without
+// building any golden state (the iterative kernels run a full simulation
+// at construction), which is what lets Plan.Validate reject a bad cell in
+// microseconds before a Runner spends minutes on the good ones.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/kernels"
+)
+
+// DeviceFactory constructs a registered device model.
+type DeviceFactory func() (arch.Device, error)
+
+// KernelEntry describes one registered kernel family.
+type KernelEntry struct {
+	// Validate checks a params string (the part after the colon in
+	// "dgemm:1024") against the kernel's preconditions without building
+	// golden state. An empty params string is valid only for families
+	// with a default configuration.
+	Validate func(params string) error
+	// Make constructs the kernel; it may be expensive (the iterative
+	// kernels run their golden simulation here). Make must not panic:
+	// NewKernel additionally converts any escaped panic into an error,
+	// but a well-behaved entry returns one directly.
+	Make func(params string) (kernels.Kernel, error)
+}
+
+// UnknownDeviceError reports a device name with no registration.
+type UnknownDeviceError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownDeviceError) Error() string {
+	return fmt.Sprintf("registry: unknown device %q (known: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// UnknownKernelError reports a kernel family with no registration.
+type UnknownKernelError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownKernelError) Error() string {
+	return fmt.Sprintf("registry: unknown kernel %q (known: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// BadParamsError reports a registered kernel rejecting its params string:
+// a permanent configuration error — the spec itself is invalid.
+type BadParamsError struct {
+	Name, Params string
+	Err          error
+}
+
+func (e *BadParamsError) Error() string {
+	return fmt.Sprintf("registry: kernel %s: bad params %q: %v", e.Name, e.Params, e.Err)
+}
+
+func (e *BadParamsError) Unwrap() error { return e.Err }
+
+// ConstructionError reports a factory failing to build a kernel whose
+// spec already passed validation: a construction failure (possibly
+// transient — resources, I/O, a factory bug), not an invalid plan.
+type ConstructionError struct {
+	Name, Params string
+	Err          error
+}
+
+func (e *ConstructionError) Error() string {
+	return fmt.Sprintf("registry: kernel %s:%s failed to construct: %v", e.Name, e.Params, e.Err)
+}
+
+func (e *ConstructionError) Unwrap() error { return e.Err }
+
+var (
+	mu      sync.RWMutex
+	devices = map[string]DeviceFactory{}
+	kernelz = map[string]KernelEntry{}
+)
+
+// RegisterDevice registers a device factory under name. Registering an
+// existing name replaces it (last registration wins), letting tests and
+// plugins shadow a built-in — but only before any campaign has run:
+// the engine memo caches and the iterative-kernel instance caches are
+// keyed by name strings and are never invalidated by re-registration,
+// so results computed before the shadowing would be served afterwards.
+// Register at init time, as the built-ins do.
+func RegisterDevice(name string, f DeviceFactory) {
+	if name == "" || f == nil {
+		panic("registry: RegisterDevice with empty name or nil factory")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	devices[name] = f
+}
+
+// RegisterKernel registers a kernel family under name. Registering an
+// existing name replaces it, under the same register-before-running
+// caveat as RegisterDevice; note also that the campaign scale presets
+// construct the built-in iterative kernels directly (registry.HotSpot /
+// registry.CLAMR), so shadowing "hotspot"/"clamr" affects plan cells and
+// CLI specs but not preset-driven figure builders.
+func RegisterKernel(name string, e KernelEntry) {
+	if name == "" || e.Make == nil {
+		panic("registry: RegisterKernel with empty name or nil Make")
+	}
+	if e.Validate == nil {
+		e.Validate = func(string) error { return nil }
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	kernelz[name] = e
+}
+
+// DeviceNames returns the registered device names, sorted.
+func DeviceNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(devices))
+	for n := range devices {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KernelNames returns the registered kernel family names, sorted.
+func KernelNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(kernelz))
+	for n := range kernelz {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewDevice constructs the device registered under name.
+func NewDevice(name string) (arch.Device, error) {
+	mu.RLock()
+	f, ok := devices[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, &UnknownDeviceError{Name: name, Known: DeviceNames()}
+	}
+	return f()
+}
+
+// SplitSpec splits a kernel spec "name" or "name:params" into its parts.
+func SplitSpec(spec string) (name, params string) {
+	name, params, _ = strings.Cut(spec, ":")
+	return name, params
+}
+
+// ValidateDevice checks that name is registered without constructing it.
+func ValidateDevice(name string) error {
+	mu.RLock()
+	_, ok := devices[name]
+	mu.RUnlock()
+	if !ok {
+		return &UnknownDeviceError{Name: name, Known: DeviceNames()}
+	}
+	return nil
+}
+
+// ValidateKernel checks a kernel spec against its family's preconditions
+// without building golden state: the plan-time guard that turns what used
+// to be a constructor panic into a typed error.
+func ValidateKernel(spec string) error {
+	name, params := SplitSpec(spec)
+	mu.RLock()
+	e, ok := kernelz[name]
+	mu.RUnlock()
+	if !ok {
+		return &UnknownKernelError{Name: name, Known: KernelNames()}
+	}
+	if err := e.Validate(params); err != nil {
+		return &BadParamsError{Name: name, Params: params, Err: err}
+	}
+	return nil
+}
+
+// NewKernel constructs the kernel described by spec ("dgemm:1024",
+// "lavamd:19", "hotspot:1024x400", "clamr:512x600"). Construction may be
+// expensive for iterative kernels; built-ins memoise those per
+// configuration. A panic escaping a factory is converted to an error so
+// no registry misuse can take down a campaign driver.
+func NewKernel(spec string) (k kernels.Kernel, err error) {
+	name, params := SplitSpec(spec)
+	mu.RLock()
+	e, ok := kernelz[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, &UnknownKernelError{Name: name, Known: KernelNames()}
+	}
+	if verr := e.Validate(params); verr != nil {
+		return nil, &BadParamsError{Name: name, Params: params, Err: verr}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			k = nil
+			err = &ConstructionError{Name: name, Params: params, Err: fmt.Errorf("constructor panic: %v", r)}
+		}
+	}()
+	k, err = e.Make(params)
+	if err != nil {
+		return nil, &ConstructionError{Name: name, Params: params, Err: err}
+	}
+	return k, nil
+}

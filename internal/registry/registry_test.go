@@ -1,0 +1,175 @@
+package registry_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/kernels"
+	"radcrit/internal/registry"
+)
+
+func TestBuiltinDevices(t *testing.T) {
+	names := registry.DeviceNames()
+	for _, want := range []string{"k40", "phi"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in device %q not registered (have %v)", want, names)
+		}
+	}
+	dev, err := registry.NewDevice("k40")
+	if err != nil {
+		t.Fatalf("NewDevice(k40): %v", err)
+	}
+	if dev.ShortName() != "K40" {
+		t.Errorf("k40 resolved to %q", dev.ShortName())
+	}
+	dev, err = registry.NewDevice("phi")
+	if err != nil {
+		t.Fatalf("NewDevice(phi): %v", err)
+	}
+	if dev.ShortName() != "XeonPhi" {
+		t.Errorf("phi resolved to %q", dev.ShortName())
+	}
+}
+
+func TestUnknownDeviceTyped(t *testing.T) {
+	_, err := registry.NewDevice("gtx")
+	var ue *registry.UnknownDeviceError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want *UnknownDeviceError, got %T: %v", err, err)
+	}
+	if ue.Name != "gtx" || len(ue.Known) == 0 {
+		t.Errorf("error lacks identity: %+v", ue)
+	}
+}
+
+func TestBuiltinKernelSpecs(t *testing.T) {
+	cases := []struct {
+		spec, name, input string
+	}{
+		{"dgemm:128", "DGEMM", "128x128"},
+		{"lavamd:4", "LavaMD", "grid 4"},
+		{"hotspot:64x80", "HotSpot", "64x64"},
+		{"clamr:48x60", "CLAMR", "48x48"},
+	}
+	for _, c := range cases {
+		k, err := registry.NewKernel(c.spec)
+		if err != nil {
+			t.Fatalf("NewKernel(%s): %v", c.spec, err)
+		}
+		if k.Name() != c.name || k.InputLabel() != c.input {
+			t.Errorf("%s resolved to %s/%s, want %s/%s",
+				c.spec, k.Name(), k.InputLabel(), c.name, c.input)
+		}
+	}
+}
+
+func TestKernelValidationRejects(t *testing.T) {
+	bad := []string{
+		"sgemm:128",     // unknown family
+		"dgemm",         // missing params
+		"dgemm:100",     // not a tile multiple
+		"dgemm:-64",     // negative
+		"dgemm:big",     // not an integer
+		"lavamd:1",      // grid too small
+		"hotspot:4x1",   // side and iters too small
+		"hotspot:64",    // not SIDExITERS
+		"clamr:8x2",     // side and steps too small
+		"clamr:48x60x1", // malformed pair
+	}
+	for _, spec := range bad {
+		if err := registry.ValidateKernel(spec); err == nil {
+			t.Errorf("ValidateKernel(%q) accepted an invalid spec", spec)
+		}
+		if _, err := registry.NewKernel(spec); err == nil {
+			t.Errorf("NewKernel(%q) accepted an invalid spec", spec)
+		}
+	}
+	var uk *registry.UnknownKernelError
+	if err := registry.ValidateKernel("sgemm:1"); !errors.As(err, &uk) {
+		t.Errorf("unknown family: want *UnknownKernelError, got %v", err)
+	}
+	var bp *registry.BadParamsError
+	if err := registry.ValidateKernel("dgemm:100"); !errors.As(err, &bp) {
+		t.Errorf("bad params: want *BadParamsError, got %v", err)
+	}
+}
+
+// TestValidateBuildsNothing pins the plan-time guarantee: validating a
+// paper-scale iterative kernel must not run its golden simulation (a
+// 512x512 x 5000-step CLAMR build takes minutes; validation is instant or
+// this test times out the suite).
+func TestValidateBuildsNothing(t *testing.T) {
+	if err := registry.ValidateKernel("clamr:512x5000"); err != nil {
+		t.Fatalf("paper-scale spec rejected: %v", err)
+	}
+	if err := registry.ValidateKernel("hotspot:1024x400"); err != nil {
+		t.Fatalf("paper-scale spec rejected: %v", err)
+	}
+}
+
+func TestIterativeKernelsMemoised(t *testing.T) {
+	a, err := registry.NewKernel("hotspot:64x80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := registry.NewKernel("hotspot:64x80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("two resolutions of one hotspot config built two instances")
+	}
+	if registry.HotSpot(64, 80) != a {
+		t.Errorf("typed cache and spec resolution disagree")
+	}
+}
+
+// panicKernel drives the third-party registration path.
+type panicKernel struct{ kernels.Kernel }
+
+func TestThirdPartyRegistration(t *testing.T) {
+	registry.RegisterDevice("test-dev", func() (arch.Device, error) {
+		return nil, fmt.Errorf("deliberately unbuildable")
+	})
+	if _, err := registry.NewDevice("test-dev"); err == nil || !strings.Contains(err.Error(), "unbuildable") {
+		t.Errorf("factory error not surfaced: %v", err)
+	}
+
+	registry.RegisterKernel("test-kern", registry.KernelEntry{
+		Validate: func(p string) error {
+			if p == "bad" {
+				return fmt.Errorf("bad params")
+			}
+			return nil
+		},
+		Make: func(p string) (kernels.Kernel, error) {
+			if p == "explode" {
+				panic("third-party constructor bug")
+			}
+			return panicKernel{}, nil
+		},
+	})
+	if _, err := registry.NewKernel("test-kern:ok"); err != nil {
+		t.Errorf("registered kernel not constructible: %v", err)
+	}
+	if err := registry.ValidateKernel("test-kern:bad"); err == nil {
+		t.Errorf("registered Validate not consulted")
+	}
+	// A panicking third-party constructor must come back as a typed
+	// construction error (not a params error — the spec validated), never
+	// a panic.
+	_, err := registry.NewKernel("test-kern:explode")
+	var ce *registry.ConstructionError
+	if !errors.As(err, &ce) {
+		t.Errorf("constructor panic not converted: %v", err)
+	}
+}

@@ -12,13 +12,24 @@
 // commands use it exclusively. The heavy lifting lives in internal/
 // packages (one per subsystem, see DESIGN.md).
 //
-// Quick start:
+// Quick start — a campaign is a declarative Plan executed by a Runner:
 //
-//	dev := radcrit.K40()
-//	kern := radcrit.NewDGEMM(1024)
-//	res := radcrit.RunCampaign(dev, kern, radcrit.CampaignConfig(42, 500))
-//	crit := radcrit.Analyze(res.Reports, radcrit.DefaultAnalysisOptions())
-//	fmt.Println(crit)
+//	plan := radcrit.NewPlan(42, 500).
+//		WithKernelOnDevices("dgemm:1024", "k40", "phi").
+//		WithThresholds(0, 2)
+//	res, err := radcrit.NewBatchRunner().Run(ctx, plan)
+//	if err != nil { ... }
+//	for _, cell := range res.Cells {
+//		fmt.Println(cell.Info.Device, cell.Summary.SDCFIT)
+//	}
+//
+// Plans serialise to JSON (LoadPlan/SavePlan), so the same campaign is a
+// shareable artifact, a CLI argument (-plan plan.json on every cmd/
+// tool), and — eventually — a serving-layer request body. Devices and
+// kernels are addressed by registry name ("k40", "dgemm:1024",
+// "hotspot:1024x400"); third-party scenarios join via RegisterDevice /
+// RegisterKernel. The pre-plan constructors (K40, NewDGEMM, RunCampaign,
+// ...) remain as thin wrappers for programmatic use.
 package radcrit
 
 import (
@@ -37,6 +48,7 @@ import (
 	"radcrit/internal/logdata"
 	"radcrit/internal/metrics"
 	"radcrit/internal/phi"
+	"radcrit/internal/registry"
 	"radcrit/internal/report"
 )
 
@@ -83,6 +95,32 @@ type (
 	CheckpointSink = campaign.CheckpointSink
 	// LogResume is the recoverable state of a truncated streamed log.
 	LogResume = logdata.Resume
+
+	// Plan is a declarative, serialisable campaign: named cells plus the
+	// statistical configuration, validated before any compute is spent.
+	Plan = campaign.Plan
+	// CellSpec names one plan cell by registry names.
+	CellSpec = campaign.CellSpec
+	// Runner executes a validated plan under a context.
+	Runner = campaign.Runner
+	// PlanResult is a Runner's per-cell record of one plan execution.
+	PlanResult = campaign.PlanResult
+	// CellOutcome is one plan cell's execution record.
+	CellOutcome = campaign.CellOutcome
+	// Summary is a cell's statistics under the plan's thresholds,
+	// bit-identical between the batch and streaming runners.
+	Summary = campaign.Summary
+	// Progress carries a Runner's optional OnCell/OnChunk hooks.
+	Progress = campaign.Progress
+	// CellError is the typed failure of one experiment cell.
+	CellError = campaign.CellError
+
+	// DeviceFactory constructs a registered device by name.
+	DeviceFactory = registry.DeviceFactory
+	// KernelEntry describes a registered kernel family (validation
+	// separate from construction, so plan validation never builds golden
+	// state).
+	KernelEntry = registry.KernelEntry
 )
 
 // Experiment scales.
@@ -125,6 +163,56 @@ func NewCLAMR(side, steps int) *clamr.Kernel { return clamr.New(side, steps) }
 func CampaignConfig(seed uint64, strikes int) Config {
 	return campaign.DefaultConfig(seed, strikes)
 }
+
+// --- Declarative plans, registries and runners ---
+
+// NewPlan starts a fluent campaign plan under seed with a per-cell strike
+// budget; add cells with WithCell/WithKernelOnDevices and hand it to a
+// Runner.
+func NewPlan(seed uint64, strikes int) *Plan { return campaign.NewPlan(seed, strikes) }
+
+// LoadPlan reads and validates a JSON campaign plan.
+func LoadPlan(r io.Reader) (*Plan, error) { return campaign.LoadPlan(r) }
+
+// SavePlan validates p and writes it as indented JSON.
+func SavePlan(w io.Writer, p *Plan) error { return campaign.SavePlan(w, p) }
+
+// NewBatchRunner returns the memoised batch engine as a Runner: cells run
+// sequentially, every outcome retains its full Result.
+func NewBatchRunner() *campaign.BatchRunner { return &campaign.BatchRunner{} }
+
+// NewMatrixRunner returns the concurrent batch engine as a Runner: all
+// cells at once, memoised and single-flighted, outcomes in plan order.
+func NewMatrixRunner() *campaign.MatrixRunner { return &campaign.MatrixRunner{} }
+
+// NewStreamRunner returns the bounded-memory streaming engine as a
+// Runner: summaries come from online reducers and no reports are
+// retained.
+func NewStreamRunner() *campaign.StreamRunner { return &campaign.StreamRunner{} }
+
+// RegisterDevice registers a device factory under name, making it
+// addressable from plans and every cmd/ tool.
+func RegisterDevice(name string, f DeviceFactory) { registry.RegisterDevice(name, f) }
+
+// RegisterKernel registers a kernel family under name, making specs like
+// "name:params" addressable from plans and every cmd/ tool.
+func RegisterKernel(name string, e KernelEntry) { registry.RegisterKernel(name, e) }
+
+// NewDevice constructs a registered device by name ("k40", "phi").
+func NewDevice(name string) (Device, error) { return registry.NewDevice(name) }
+
+// NewKernel constructs a registered kernel from a spec ("dgemm:1024",
+// "lavamd:19", "hotspot:1024x400", "clamr:512x600").
+func NewKernel(spec string) (Kernel, error) { return registry.NewKernel(spec) }
+
+// DeviceNames lists the registered device names, sorted.
+func DeviceNames() []string { return registry.DeviceNames() }
+
+// KernelNames lists the registered kernel family names, sorted.
+func KernelNames() []string { return registry.KernelNames() }
+
+// SplitKernelSpec splits "name:params" into its parts.
+func SplitKernelSpec(spec string) (name, params string) { return registry.SplitSpec(spec) }
 
 // RunCampaign simulates a beam campaign cell: cfg.Strikes strikes of kern
 // on dev, each resolved by the device architecture and propagated through
