@@ -25,12 +25,17 @@ import (
 func main() {
 	shared := cli.CampaignFlags{Device: "k40", Kernel: "dgemm", Strikes: 300, Seed: 1, Scale: "test"}
 	shared.Bind(flag.CommandLine, true)
+	var prof cli.ProfileFlags
+	prof.Bind(flag.CommandLine)
 	out := flag.String("o", "", "log output path for single-cell runs (default stdout)")
 	flag.Parse()
 
 	plan, err := shared.ResolvePlan()
 	if err != nil {
 		cli.Fatal("beamsim", "%v", err)
+	}
+	if err := prof.Start(); err != nil {
+		cli.Fatal("beamsim", "start profiling: %v", err)
 	}
 	if *out != "" && len(plan.Cells) != 1 {
 		cli.Fatal("beamsim", "-o needs a single-cell plan (got %d cells)", len(plan.Cells))
@@ -57,6 +62,9 @@ func main() {
 		if err := radcrit.WriteLog(w, res.Cells[0].Result, plan.Seed); err != nil {
 			cli.Fatal("beamsim", "write log: %v", err)
 		}
+	}
+	if err := prof.Stop(); err != nil {
+		cli.Fatal("beamsim", "write profile: %v", err)
 	}
 }
 

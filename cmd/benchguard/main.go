@@ -1,0 +1,112 @@
+// Command benchguard gates CI on the strike hot path's allocation budget:
+// it reads `go test -bench -benchmem` output on stdin, compares each
+// benchmark's allocs/op against the baselines recorded in
+// BENCH_campaign.json (strike_hot_path.benchmarks.<name>.allocs_op), and
+// exits non-zero when any benchmark regresses past -max-factor times its
+// baseline or a baselined benchmark is missing from the run. It has no
+// dependencies beyond the standard library, so the CI job stays a plain
+// `go run ./cmd/benchguard`.
+//
+//	go test -bench='BenchmarkStrike|BenchmarkInjected' -benchmem -run='^$' . |
+//	    go run ./cmd/benchguard -baseline BENCH_campaign.json -max-factor 2
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the slice of BENCH_campaign.json the guard reads.
+type baselineFile struct {
+	StrikeHotPath struct {
+		Benchmarks map[string]struct {
+			AllocsOp float64 `json:"allocs_op"`
+		} `json:"benchmarks"`
+	} `json:"strike_hot_path"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_campaign.json", "JSON `file` holding strike_hot_path.benchmarks baselines")
+	maxFactor := flag.Float64("max-factor", 2, "fail when allocs/op exceeds factor x baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("read baseline: %v", err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parse baseline %s: %v", *baselinePath, err)
+	}
+	if len(base.StrikeHotPath.Benchmarks) == 0 {
+		fatal("%s has no strike_hot_path.benchmarks section", *baselinePath)
+	}
+
+	got := parseBenchOutput(os.Stdin)
+	failed := false
+	names := make([]string, 0, len(base.StrikeHotPath.Benchmarks))
+	for name := range base.StrikeHotPath.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.StrikeHotPath.Benchmarks[name]
+		allocs, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: baselined benchmark missing from bench output\n", name)
+			failed = true
+			continue
+		}
+		limit := want.AllocsOp * *maxFactor
+		if allocs > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.1f allocs/op exceeds %.1f (baseline %.1f x factor %.1f)\n",
+				name, allocs, limit, want.AllocsOp, *maxFactor)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchguard: ok %s: %.1f allocs/op (limit %.1f)\n", name, allocs, limit)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBenchOutput extracts allocs/op per benchmark from `go test -bench
+// -benchmem` text. Benchmark names are normalised by stripping the
+// "Benchmark" prefix and the -GOMAXPROCS suffix.
+func parseBenchOutput(f *os.File) map[string]float64 {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "allocs/op" {
+				if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+					out[name] = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read bench output: %v", err)
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -44,7 +44,12 @@ func main() {
 	stream := flag.Bool("stream", false, "use the bounded-memory streaming engine for aggregate artifacts")
 	maxPoints := flag.Int("maxpoints", 4096, "scatter reservoir size per input in -stream mode")
 	planPath := flag.String("plan", "", "JSON plan `file` supplying seed/strikes/workers/facility")
+	var prof cli.ProfileFlags
+	prof.Bind(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		cli.Fatal("figures", "start profiling: %v", err)
+	}
 
 	scale := campaign.TestScale
 	switch *scaleFlag {
@@ -277,6 +282,10 @@ func main() {
 			blind.InaccessibleDUEs, blind.BeamDUEs, 100*blind.DUEBlindFraction())
 		fmt.Fprintln(w, "  (the paper's §IV-D argument for beam time: schedulers, dispatchers")
 		fmt.Fprintln(w, "   and control logic are inaccessible to software injectors)")
+	}
+
+	if err := prof.Stop(); err != nil {
+		cli.Fatal("figures", "write profile: %v", err)
 	}
 }
 

@@ -230,9 +230,11 @@ func cacheUtil(footKB, capKB float64) float64 {
 }
 
 // resourceWeights returns the relative strike cross-section of every
-// resource under workload p. The sum is the device's sensitive area.
-func (m *Model) resourceWeights(p Profile) []float64 {
-	w := make([]float64, fault.NumResources)
+// resource under workload p. The sum is the device's sensitive area. The
+// result is a fixed-size array so ResolveStrike — called once per strike
+// by the campaign hot path — computes it on the stack, allocation-free.
+func (m *Model) resourceWeights(p Profile) [fault.NumResources]float64 {
+	var w [fault.NumResources]float64
 
 	w[fault.RegisterFile] = m.RegisterFileKB * m.StorageSensitivity * m.rfExposure(p)
 	if m.SharedMemKBPerCore > 0 && p.LocalMemPerBlockKB > 0 {
@@ -477,7 +479,7 @@ func (m *Model) ExpectedRates(p Profile) (masked, sdc, crash, hang float64) {
 // ResolveStrike maps a beam strike onto its syndrome.
 func (m *Model) ResolveStrike(p Profile, s fault.Strike, rng *xrand.RNG) Syndrome {
 	weights := m.resourceWeights(p)
-	r := fault.Resource(rng.WeightedChoice(weights))
+	r := fault.Resource(rng.WeightedChoice(weights[:]))
 	outcome := m.outcomeDist(r, p).Sample(rng)
 	syn := Syndrome{Resource: r, Outcome: outcome}
 	if outcome == fault.SDC {

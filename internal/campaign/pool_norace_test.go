@@ -1,0 +1,78 @@
+//go:build !race
+
+package campaign
+
+import (
+	"testing"
+
+	"radcrit/internal/beam"
+	"radcrit/internal/fault"
+	"radcrit/internal/injector"
+	"radcrit/internal/xrand"
+)
+
+// TestMaskedStrikeAllocBounds pins the zero-allocation contract of the
+// strike hot path (ISSUE 4): a masked strike — the overwhelming majority
+// of a campaign — allocates at most 2 objects end to end (the per-index
+// RNG split plus slack for pool jitter) for every kernel family, on both
+// the architecturally-masked path (no kernel run) and, where the probe
+// window contains one, the logically-masked path (kernel runs against
+// pooled scratch, empty report recycled in place).
+//
+// Excluded under -race: the race runtime's instrumentation allocates.
+func TestMaskedStrikeAllocBounds(t *testing.T) {
+	for _, cell := range determinismCells() {
+		ses, err := injector.NewSession(cell.Dev, cell.Kern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := ses.Profile()
+		base := xrand.New(0xA110C)
+
+		runStrike := func(i uint64) injector.Outcome {
+			sub := base.Split(i + 1)
+			strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+			out := ses.RunOne(strike, sub)
+			ses.ReleaseReport(out.Report)
+			return out
+		}
+		syndromeOf := func(i uint64) fault.OutcomeClass {
+			sub := base.Split(i + 1)
+			strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+			return cell.Dev.ResolveStrike(prof, strike, sub).Outcome
+		}
+
+		// Scan for masked strikes, warming every pool on the way. An
+		// index whose syndrome is an SDC but whose outcome is Masked
+		// exercised the kernel and was logically masked.
+		archMasked, logicalMasked := int64(-1), int64(-1)
+		for i := uint64(0); i < 4000 && (archMasked < 0 || logicalMasked < 0); i++ {
+			syn := syndromeOf(i)
+			out := runStrike(i)
+			if out.Class != fault.Masked {
+				continue
+			}
+			if syn == fault.SDC {
+				logicalMasked = int64(i)
+			} else {
+				archMasked = int64(i)
+			}
+		}
+		if archMasked < 0 {
+			t.Fatalf("%s: no architecturally masked strike in probe window", cell.Kern.Name())
+		}
+		check := func(label string, idx int64) {
+			avg := testing.AllocsPerRun(100, func() { runStrike(uint64(idx)) })
+			if avg > 2 {
+				t.Errorf("%s: %s strike allocates %v objects, want <= 2",
+					cell.Kern.Name(), label, avg)
+			}
+		}
+		check("architecturally masked", archMasked)
+		if logicalMasked >= 0 {
+			check("logically masked", logicalMasked)
+		} else {
+			t.Logf("%s: no logically masked strike in probe window (ok)", cell.Kern.Name())
+		}
+	}
+}

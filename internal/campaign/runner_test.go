@@ -236,6 +236,9 @@ func (stubKernel) RunInjected(arch.Device, arch.Injection, *xrand.RNG) *metrics.
 func (stubKernel) RunInjectedOn(kernels.GoldenState, arch.Injection, *xrand.RNG) *metrics.Report {
 	return nil
 }
+func (stubKernel) RunInjectedPooled(kernels.GoldenState, arch.Injection, *xrand.RNG, *metrics.ReportPool) *metrics.Report {
+	return nil
+}
 
 // TestCellErrorCachedNotRepanicked pins the satellite fix: a failed cell
 // returns a typed *CellError through RunCtx, the memo caches that error

@@ -30,10 +30,14 @@ const DefaultStreamChunk = 512
 //
 // The engine's determinism contract (DESIGN.md §6): Consume is called from
 // a single goroutine, in strictly ascending strike-index order, for every
-// index exactly once — regardless of Config.Workers. A sink that reads
-// out.Report must extract what it needs before returning; the engine drops
-// its own reference after the call, so retained reports are the sink's
-// memory to pay for.
+// index exactly once — regardless of Config.Workers.
+//
+// Report ownership (DESIGN.md §8): out.Report is only valid for the
+// duration of the Consume call. Once every sink has consumed a strike the
+// engine releases the report back to the session pool for reuse by a
+// later strike, so a sink must extract what it needs before returning and
+// must Clone the report to retain it (as the batch engine's result sink
+// does). The online reducers all satisfy this by construction.
 type Sink interface {
 	Consume(i int, out injector.Outcome)
 }
@@ -167,8 +171,10 @@ func RunStreamingFromCtx(ctx context.Context, dev arch.Device, kern kernels.Kern
 			for _, s := range sinks {
 				s.Consume(base+j, buf[j])
 			}
-			// Release the report reference: only the in-flight chunk's SDC
-			// reports are ever live at once.
+			// Recycle the report into the session pool: the sinks have
+			// consumed it (Sink contract), so the next chunk's strikes
+			// reuse its memory instead of allocating afresh.
+			ses.ReleaseReport(buf[j].Report)
 			buf[j] = injector.Outcome{}
 		}
 		for _, s := range sinks {
@@ -425,7 +431,9 @@ func (r *ABFTReducer) Consume(_ int, out injector.Outcome) {
 // compat stack that lets Run/RunFresh share one engine with RunStreaming.
 // The tally/per-resource accounting is delegated to a TallyReducer (one
 // merge loop, not two to drift apart); this sink only adds the report
-// retention that makes a Result a Result.
+// retention that makes a Result a Result. Because the engine recycles
+// reports after the chunk's sinks consume them, retention means cloning:
+// the Result owns deep copies with lifetimes independent of the pool.
 type resultSink struct {
 	tally *TallyReducer
 	res   *Result
@@ -439,7 +447,7 @@ func newResultSink() *resultSink {
 func (s *resultSink) Consume(i int, out injector.Outcome) {
 	s.tally.Consume(i, out)
 	if out.Class == fault.SDC {
-		s.res.Reports = append(s.res.Reports, out.Report)
+		s.res.Reports = append(s.res.Reports, out.Report.Clone())
 		s.res.ReportResource = append(s.res.ReportResource, out.Resource)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -140,6 +142,70 @@ func (c *CampaignFlags) ResolvePlan() (*campaign.Plan, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// ProfileFlags are the shared profiling flags of the cmd/ tools, so perf
+// work starts from a pprof profile instead of guesswork:
+//
+//	beamsim -cpuprofile cpu.out -plan plan.json
+//	figures -memprofile mem.out -scale paper
+//	go tool pprof cpu.out
+//
+// Profiles are written on a tool's successful exit (Stop); error exits
+// through Fatal abandon them.
+type ProfileFlags struct {
+	CPUProfile string
+	MemProfile string
+
+	cpuFile *os.File
+}
+
+// Bind registers -cpuprofile and -memprofile on fs.
+func (p *ProfileFlags) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPUProfile, "cpuprofile", p.CPUProfile,
+		"write a CPU profile to `file` (inspect with: go tool pprof file)")
+	fs.StringVar(&p.MemProfile, "memprofile", p.MemProfile,
+		"write an allocation (heap) profile to `file` on exit")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. Call Stop before
+// the tool exits.
+func (p *ProfileFlags) Start() error {
+	if p.CPUProfile == "" {
+		return nil
+	}
+	f, err := os.Create(p.CPUProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop ends CPU profiling and writes the heap profile when -memprofile
+// was given. Safe to call when Start did nothing.
+func (p *ProfileFlags) Stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.MemProfile == "" {
+		return nil
+	}
+	f, err := os.Create(p.MemProfile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle the heap so the profile shows live retention
+	return pprof.WriteHeapProfile(f)
 }
 
 // Fatal prints "tool: message" to stderr and exits 1.

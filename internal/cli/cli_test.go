@@ -117,3 +117,45 @@ func TestBindRegistersFlags(t *testing.T) {
 		t.Errorf("withKernel=false still bound -kernel")
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	var p ProfileFlags
+	p.Bind(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	// Idle flags are no-ops.
+	var idle ProfileFlags
+	if err := idle.Start(); err != nil {
+		t.Fatalf("idle Start: %v", err)
+	}
+	if err := idle.Stop(); err != nil {
+		t.Fatalf("idle Stop: %v", err)
+	}
+}

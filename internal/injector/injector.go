@@ -32,17 +32,20 @@ type Outcome struct {
 
 // Session is a prepared (device, kernel) execution context. It hoists the
 // per-strike overheads out of the strike loop: the occupancy profile is
-// computed and validated once, and the kernel's golden-state handle is
-// obtained once, so each strike pays only for strike resolution and (for
-// SDC syndromes) the injected execution itself.
+// computed and validated once, the kernel's golden-state handle is
+// obtained once, and the session owns the report pool that recycles
+// mismatch reports across strikes, so a steady-state strike allocates
+// (almost) nothing.
 //
-// Sessions are immutable after construction and safe for concurrent use:
-// a parallel campaign engine shares one Session across all of its workers.
+// Sessions are safe for concurrent use: a parallel campaign engine shares
+// one Session across all of its workers (the pool is internally
+// synchronised; everything else is immutable after construction).
 type Session struct {
-	dev    arch.Device
-	kern   kernels.Kernel
-	prof   arch.Profile
-	golden kernels.GoldenState
+	dev     arch.Device
+	kern    kernels.Kernel
+	prof    arch.Profile
+	golden  kernels.GoldenState
+	reports metrics.ReportPool
 }
 
 // NewSession prepares a session for kern on dev, validating the profile.
@@ -73,20 +76,38 @@ func (s *Session) Profile() arch.Profile { return s.prof }
 func (s *Session) Golden() kernels.GoldenState { return s.golden }
 
 // RunOne executes one strike in the session and classifies it.
+//
+// Ownership: a non-nil Outcome.Report is borrowed from the session's
+// report pool. The caller owns it and may hand it back via ReleaseReport
+// once nothing can reference it again (the streaming engine does, after
+// the chunk's sinks have consumed it); callers that simply drop it leave
+// it to the garbage collector, which is always safe.
 func (s *Session) RunOne(strike fault.Strike, rng *xrand.RNG) Outcome {
 	syn := s.dev.ResolveStrike(s.prof, strike, rng)
 	out := Outcome{Class: syn.Outcome, Resource: syn.Resource, Scope: syn.Injection.Scope}
 	if syn.Outcome != fault.SDC {
 		return out
 	}
-	rep := s.kern.RunInjectedOn(s.golden, syn.Injection, rng)
+	rep := s.kern.RunInjectedPooled(s.golden, syn.Injection, rng, &s.reports)
 	if rep.Count() == 0 {
 		// Logically masked: the corrupted state never reached the output.
+		// The empty report goes straight back to the pool — the common
+		// case of a campaign, and now allocation-free.
+		s.reports.Put(rep)
 		out.Class = fault.Masked
 		return out
 	}
 	out.Report = rep
 	return out
+}
+
+// ReleaseReport returns a report obtained from RunOne to the session's
+// pool for reuse by a later strike. Call it only when no reference to the
+// report (including slices handed out by its accessors) can be used
+// again; consumers that retain reports must Clone them first. Nil reports
+// are ignored.
+func (s *Session) ReleaseReport(rep *metrics.Report) {
+	s.reports.Put(rep)
 }
 
 // RunOne executes one strike against kern on dev and classifies it. For

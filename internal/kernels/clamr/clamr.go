@@ -30,6 +30,7 @@ import (
 	"radcrit/internal/grid"
 	"radcrit/internal/kernels"
 	"radcrit/internal/metrics"
+	"radcrit/internal/scratch"
 	"radcrit/internal/xrand"
 )
 
@@ -98,10 +99,59 @@ type Kernel struct {
 // computed once at construction plus a bounded memo of fully reconstructed
 // per-step states, so strikes landing on the same timestep stop re-stepping
 // from the nearest snapshot. Memoised states are canonical and read-only;
-// irradiated runs copy them into working buffers before corrupting them.
+// irradiated runs copy them into working buffers borrowed from the
+// handle's scratch pool before corrupting them.
 type goldenTimeline struct {
 	k      *Kernel
 	states kernels.TimelineMemo[*state]
+	scr    *scratch.Pool[*injectScratch]
+}
+
+// injectScratch is one borrowable irradiated-run working set. cur is
+// fully overwritten by the golden-state copy, next is fully written by
+// every step, and the flux rows are filled before every read, so none of
+// them needs a cleanliness invariant; frozen (allocated lazily by the
+// first task-set strike) must be all-false on Put.
+type injectScratch struct {
+	cur, next *state
+	fr        *fluxRows
+	frozen    []bool
+}
+
+// fluxRows bank the south fluxes of one step's row sweep so each cell
+// computes one fluxY instead of two. Output row y consumes fluxY of rows
+// y-1 (north) and y+1 (south); the south fluxes computed at row y are
+// exactly the north fluxes row y+2 will need, and rows two apart share
+// parity, so two buffers suffice — each read (as north) and overwritten
+// (with the fresh south) in the same ascending x sweep. The banked values
+// are bitwise the ones the inline computation produced, so the stencil's
+// results are unchanged.
+type fluxRows struct {
+	buf [2][3][]float64 // [row parity][component][x]
+}
+
+func newFluxRows(s int) *fluxRows {
+	fr := &fluxRows{}
+	for p := 0; p < 2; p++ {
+		for c := 0; c < 3; c++ {
+			fr.buf[p][c] = make([]float64, s)
+		}
+	}
+	return fr
+}
+
+// prime loads the bank with fluxY of source rows 0 and 1 — the north
+// fluxes of the first two interior output rows.
+func (fr *fluxRows) prime(k *Kernel, src *state) {
+	s := k.side
+	for r := 0; r < 2; r++ {
+		row := r * s
+		h, hu, hv := src.h[row:row+s], src.hu[row:row+s], src.hv[row:row+s]
+		g0, g1, g2 := fr.buf[r][0], fr.buf[r][1], fr.buf[r][2]
+		for x := 1; x < s-1; x++ {
+			g0[x], g1[x], g2[x] = fluxY(h[x], hu[x], hv[x])
+		}
+	}
 }
 
 // stateAt returns the canonical golden state at step t. The returned state
@@ -113,7 +163,15 @@ func (g *goldenTimeline) stateAt(t int) *state {
 // Golden implements kernels.Kernel. The handle is device-independent:
 // CLAMR's golden timeline depends only on the input configuration.
 func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
-	k.handleOnce.Do(func() { k.handle = &goldenTimeline{k: k} })
+	k.handleOnce.Do(func() {
+		n := k.side * k.side
+		k.handle = &goldenTimeline{
+			k: k,
+			scr: scratch.NewPool(func() *injectScratch {
+				return &injectScratch{cur: newState(n), next: newState(n), fr: newFluxRows(k.side)}
+			}),
+		}
+	})
 	return k.handle
 }
 
@@ -222,35 +280,138 @@ func fluxY(h, hu, hv float64) (g0, g1, g2 float64) {
 	return hv, hu * v, hv*v + 0.5*Gravity*h*h
 }
 
-// step advances src into dst by one Lax-Friedrichs step. frozen, when
-// non-nil, marks cells whose update is skipped (mis-scheduled tiles).
-func (k *Kernel) step(dst, src *state, frozen []bool) {
+// step advances src into dst by one Lax-Friedrichs step and returns the
+// total water volume of dst, accumulated in the same cell order a
+// separate pass would use (so the mass-check signal is bit-identical to
+// summing afterwards, without re-reading the grid). frozen, when non-nil,
+// marks cells whose update is skipped (mis-scheduled tiles).
+//
+// The hot layout: interior cells run a tight loop over row sub-slices
+// (direct neighbour loads, bounds checks lifted to the slice headers, no
+// per-cell branch on frozen/border), while wall cells keep the
+// reflective-mirror reads via stepCell. Every path evaluates the
+// identical float expressions in identical order, so the optimisation is
+// bitwise invisible — mirror degenerates to the identity in the interior
+// (fx = fy = 1, and momenta are finite after sanitisation, so the *1
+// factors are exact).
+func (k *Kernel) step(dst, src *state, frozen []bool, fr *fluxRows) float64 {
+	if frozen != nil {
+		return k.stepFrozen(dst, src, frozen)
+	}
 	s := k.side
 	c := DT / (2 * DX)
+	var mass float64
+	fr.prime(k, src)
+	for y := 0; y < s; y++ {
+		if y == 0 || y == s-1 {
+			for x := 0; x < s; x++ {
+				mass += k.stepCell(dst, src, x, y, c)
+			}
+			continue
+		}
+		row := y * s
+		mass += k.stepCell(dst, src, 0, y, c)
+		hC, huC, hvC := src.h[row:row+s], src.hu[row:row+s], src.hv[row:row+s]
+		hN, huN, hvN := src.h[row-s:row], src.hu[row-s:row], src.hv[row-s:row]
+		hS, huS, hvS := src.h[row+s:row+2*s], src.hu[row+s:row+2*s], src.hv[row+s:row+2*s]
+		dh, dhu, dhv := dst.h[row:row+s], dst.hu[row:row+s], dst.hv[row:row+s]
+		// North fluxes come from the parity bank; the fresh south fluxes
+		// overwrite the slot just read, becoming row y+2's north.
+		g0, g1, g2 := fr.buf[(y-1)&1][0], fr.buf[(y-1)&1][1], fr.buf[(y-1)&1][2]
+		// fluxX slides through lag registers: the flux of cell x+1
+		// computed here is the west flux of cell x+2, so each cell pays
+		// for one fluxX instead of two.
+		fW0, fW1, fW2 := fluxX(hC[0], huC[0], hvC[0])
+		fC0, fC1, fC2 := fluxX(hC[1], huC[1], hvC[1])
+		for x := 1; x < s-1; x++ {
+			hE, huE, hvE := hC[x+1], huC[x+1], hvC[x+1]
+			hW, huW, hvW := hC[x-1], huC[x-1], hvC[x-1]
+			hNv, huNv, hvNv := hN[x], huN[x], hvN[x]
+			hSv, huSv, hvSv := hS[x], huS[x], hvS[x]
+
+			fE0, fE1, fE2 := fluxX(hE, huE, hvE)
+			gN0, gN1, gN2 := g0[x], g1[x], g2[x]
+			gS0, gS1, gS2 := fluxY(hSv, huSv, hvSv)
+			g0[x], g1[x], g2[x] = gS0, gS1, gS2
+
+			h := 0.25*(hE+hW+hNv+hSv) - c*(fE0-fW0) - c*(gS0-gN0)
+			hu := 0.25*(huE+huW+huNv+huSv) - c*(fE1-fW1) - c*(gS1-gN1)
+			hv := 0.25*(hvE+hvW+hvNv+hvSv) - c*(fE2-fW2) - c*(gS2-gN2)
+
+			// Lean inline sanitize: the NaN/Inf branches of sanitize are
+			// provably dead here — every src cell is already sanitised
+			// (finite, h >= 1e-3, |hu|,|hv| <= UMax*h), and no operation
+			// above can overflow or divide by zero from such inputs — so
+			// only the clamps remain, with identical results.
+			if h < 1e-3 {
+				h = 1e-3
+			} else if h > 1e9 {
+				h = 1e9
+			}
+			lim := UMax * h
+			if hu > lim {
+				hu = lim
+			} else if hu < -lim {
+				hu = -lim
+			}
+			if hv > lim {
+				hv = lim
+			} else if hv < -lim {
+				hv = -lim
+			}
+			dh[x], dhu[x], dhv[x] = h, hu, hv
+			mass += h
+
+			fW0, fW1, fW2 = fC0, fC1, fC2
+			fC0, fC1, fC2 = fE0, fE1, fE2
+		}
+		mass += k.stepCell(dst, src, s-1, y, c)
+	}
+	return mass
+}
+
+// stepCell updates one wall cell through the reflective-mirror reads and
+// returns its sanitised water height.
+func (k *Kernel) stepCell(dst, src *state, x, y int, c float64) float64 {
+	i := y*k.side + x
+	hE, huE, hvE := k.mirror(src, x+1, y)
+	hW, huW, hvW := k.mirror(src, x-1, y)
+	hN, huN, hvN := k.mirror(src, x, y-1)
+	hS, huS, hvS := k.mirror(src, x, y+1)
+
+	fE0, fE1, fE2 := fluxX(hE, huE, hvE)
+	fW0, fW1, fW2 := fluxX(hW, huW, hvW)
+	gN0, gN1, gN2 := fluxY(hN, huN, hvN)
+	gS0, gS1, gS2 := fluxY(hS, huS, hvS)
+
+	h := 0.25*(hE+hW+hN+hS) - c*(fE0-fW0) - c*(gS0-gN0)
+	hu := 0.25*(huE+huW+huN+huS) - c*(fE1-fW1) - c*(gS1-gN1)
+	hv := 0.25*(hvE+hvW+hvN+hvS) - c*(fE2-fW2) - c*(gS2-gN2)
+
+	h, hu, hv = sanitize(h, hu, hv)
+	dst.h[i], dst.hu[i], dst.hv[i] = h, hu, hv
+	return h
+}
+
+// stepFrozen is the general (and rare) path for task-set strikes with
+// mis-scheduled tiles: the pre-optimisation per-cell loop with the frozen
+// check.
+func (k *Kernel) stepFrozen(dst, src *state, frozen []bool) float64 {
+	s := k.side
+	c := DT / (2 * DX)
+	var mass float64
 	for y := 0; y < s; y++ {
 		for x := 0; x < s; x++ {
 			i := y*s + x
-			if frozen != nil && frozen[i] {
+			if frozen[i] {
 				dst.h[i], dst.hu[i], dst.hv[i] = src.h[i], src.hu[i], src.hv[i]
+				mass += dst.h[i]
 				continue
 			}
-			hE, huE, hvE := k.mirror(src, x+1, y)
-			hW, huW, hvW := k.mirror(src, x-1, y)
-			hN, huN, hvN := k.mirror(src, x, y-1)
-			hS, huS, hvS := k.mirror(src, x, y+1)
-
-			fE0, fE1, fE2 := fluxX(hE, huE, hvE)
-			fW0, fW1, fW2 := fluxX(hW, huW, hvW)
-			gN0, gN1, gN2 := fluxY(hN, huN, hvN)
-			gS0, gS1, gS2 := fluxY(hS, huS, hvS)
-
-			dst.h[i] = 0.25*(hE+hW+hN+hS) - c*(fE0-fW0) - c*(gS0-gN0)
-			dst.hu[i] = 0.25*(huE+huW+huN+huS) - c*(fE1-fW1) - c*(gS1-gN1)
-			dst.hv[i] = 0.25*(hvE+hvW+hvN+hvS) - c*(fE2-fW2) - c*(gS2-gN2)
-
-			sanitizeCell(dst, i)
+			mass += k.stepCell(dst, src, x, y, c)
 		}
 	}
+	return mass
 }
 
 // sanitizeCell keeps the solver marching after radical corruption: real
@@ -259,26 +420,40 @@ func (k *Kernel) step(dst, src *state, frozen []bool) {
 // ambient state and heights are clamped positive, so corruption spreads as
 // data rather than as NaN wavefronts.
 func sanitizeCell(st *state, i int) {
-	if math.IsNaN(st.h[i]) || math.IsInf(st.h[i], 0) {
-		st.h[i] = HOutside
+	st.h[i], st.hu[i], st.hv[i] = sanitize(st.h[i], st.hu[i], st.hv[i])
+}
+
+// sanitize is sanitizeCell on scalars, so the stencil loops can clean a
+// cell's conserved triple in registers before its single store.
+func sanitize(h, hu, hv float64) (float64, float64, float64) {
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		h = HOutside
 	}
-	if st.h[i] < 1e-3 {
-		st.h[i] = 1e-3
+	if h < 1e-3 {
+		h = 1e-3
 	}
-	if st.h[i] > 1e9 {
-		st.h[i] = 1e9
+	if h > 1e9 {
+		h = 1e9
 	}
-	for _, arr := range [][]float64{st.hu, st.hv} {
-		if math.IsNaN(arr[i]) || math.IsInf(arr[i], 0) {
-			arr[i] = 0
-		}
-		// CFL velocity guard (see UMax).
-		if lim := UMax * st.h[i]; arr[i] > lim {
-			arr[i] = lim
-		} else if arr[i] < -lim {
-			arr[i] = -lim
-		}
+	// CFL velocity guard (see UMax).
+	lim := UMax * h
+	if math.IsNaN(hu) || math.IsInf(hu, 0) {
+		hu = 0
 	}
+	if hu > lim {
+		hu = lim
+	} else if hu < -lim {
+		hu = -lim
+	}
+	if math.IsNaN(hv) || math.IsInf(hv, 0) {
+		hv = 0
+	}
+	if hv > lim {
+		hv = lim
+	} else if hv < -lim {
+		hv = -lim
+	}
+	return h, hu, hv
 }
 
 // refineMap marks cells whose height gradient exceeds the threshold: the
@@ -314,8 +489,9 @@ func (k *Kernel) computeGolden() {
 
 	var refinedSum float64
 	samples := 0
+	fr := newFluxRows(k.side)
 	for t := 0; t < k.steps; t++ {
-		k.step(next, cur, nil)
+		k.step(next, cur, nil, fr)
 		cur, next = next, cur
 		if (t+1)%k.snapEvery == 0 {
 			sn := newState(n)
@@ -351,8 +527,9 @@ func (k *Kernel) stateAt(t int) *state {
 	cur := newState(n)
 	cur.copyFrom(k.snaps[si])
 	next := newState(n)
+	fr := newFluxRows(k.side)
 	for step := si * k.snapEvery; step < t; step++ {
-		k.step(next, cur, nil)
+		k.step(next, cur, nil, fr)
 		cur, next = next, cur
 	}
 	return cur
@@ -427,6 +604,13 @@ func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *
 	return rep
 }
 
+// RunInjectedPooled implements kernels.Kernel: working states come from
+// the handle's scratch pool and the report from the session pool.
+func (k *Kernel) RunInjectedPooled(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
+	rep, _ := k.runInjectedDetailed(gs, inj, rng, reports)
+	return rep
+}
+
 // stateTargetWeights biases which conserved array a storage strike hits:
 // h has the longest cache residency (read by every flux computation, the
 // refinement criterion, and the mass check), so it absorbs the most
@@ -443,17 +627,24 @@ func (k *Kernel) RunInjectedDetailed(dev arch.Device, inj arch.Injection, rng *x
 }
 
 // RunInjectedDetailedOn is RunInjectedDetailed against a prepared
-// golden-state handle: the hot path of campaign engines.
+// golden-state handle.
 func (k *Kernel) RunInjectedDetailedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) (*metrics.Report, Detail) {
+	return k.runInjectedDetailed(gs, inj, rng, nil)
+}
+
+// runInjectedDetailed is the hot path of campaign engines: one irradiated
+// execution against borrowed working state, with the report drawn from
+// reports (nil degrades to plain allocation).
+func (k *Kernel) runInjectedDetailed(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) (*metrics.Report, Detail) {
 	g := gs.(*goldenTimeline)
 	t0 := int(inj.When * float64(k.steps))
 	if t0 >= k.steps {
 		t0 = k.steps - 1
 	}
 	n := k.side * k.side
-	cur := newState(n)
+	sc := g.scr.Get()
+	cur, next := sc.cur, sc.next
 	cur.copyFrom(g.stateAt(t0))
-	next := newState(n)
 
 	var frozen []bool
 	frozenUntil := -1
@@ -471,7 +662,10 @@ func (k *Kernel) RunInjectedDetailedOn(gs kernels.GoldenState, inj arch.Injectio
 	case arch.ScopeTaskSet:
 		// Mis-refinement: tiles wrongly marked coarse are not updated
 		// until the next refinement pass.
-		frozen = make([]bool, n)
+		if sc.frozen == nil {
+			sc.frozen = make([]bool, n)
+		}
+		frozen = sc.frozen
 		tilesPerSide := k.side / TileSide
 		for t := 0; t < inj.Tasks; t++ {
 			tx, ty := rng.Intn(tilesPerSide), rng.Intn(tilesPerSide)
@@ -484,26 +678,25 @@ func (k *Kernel) RunInjectedDetailedOn(gs kernels.GoldenState, inj arch.Injectio
 		frozenUntil = t0 + RefineInterval
 	}
 
-	// Continue the real simulation, tracking the mass invariant.
+	// Continue the real simulation, tracking the mass invariant (the
+	// step's write-order volume accumulation, bit-identical to summing
+	// cur.h afterwards).
 	var maxDrift float64
 	for t := t0; t < k.steps; t++ {
 		fz := frozen
 		if t >= frozenUntil {
 			fz = nil
 		}
-		k.step(next, cur, fz)
+		mass := k.step(next, cur, fz, sc.fr)
 		cur, next = next, cur
-		drift := math.Abs(sum(cur.h)-k.m0) / k.m0
+		drift := math.Abs(mass-k.m0) / k.m0
 		if drift > maxDrift {
 			maxDrift = drift
 		}
 	}
 
 	// Compare against the golden output.
-	rep := &metrics.Report{
-		Dims:          grid.Dims{X: k.side, Y: k.side, Z: 1},
-		TotalElements: n,
-	}
+	rep := reports.Get(grid.Dims{X: k.side, Y: k.side, Z: 1}, n)
 	for i, v := range cur.h {
 		g := k.finalH[i]
 		if v == g {
@@ -516,6 +709,10 @@ func (k *Kernel) RunInjectedDetailedOn(gs kernels.GoldenState, inj arch.Injectio
 			RelErrPct: metrics.RelativeErrorPct(v, g),
 		})
 	}
+	if frozen != nil {
+		clear(sc.frozen) // restore the pool's all-false invariant
+	}
+	g.scr.Put(sc)
 	det := Detail{
 		MaxMassDriftRel: maxDrift,
 		MassCheckFired:  maxDrift > k.MassCheckThresholdRel(),

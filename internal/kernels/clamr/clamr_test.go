@@ -69,7 +69,7 @@ func TestStateAtConsistency(t *testing.T) {
 	s11 := k.stateAt(11)
 	n := k.side * k.side
 	next := newState(n)
-	k.step(next, s10, nil)
+	k.step(next, s10, nil, newFluxRows(k.side))
 	for i := 0; i < n; i++ {
 		if next.h[i] != s11.h[i] || next.hu[i] != s11.hu[i] || next.hv[i] != s11.hv[i] {
 			t.Fatal("stateAt(10)+step != stateAt(11)")

@@ -15,13 +15,13 @@ package dgemm
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"radcrit/internal/arch"
 	"radcrit/internal/grid"
 	"radcrit/internal/kernels"
 	"radcrit/internal/metrics"
+	"radcrit/internal/scratch"
 	"radcrit/internal/xrand"
 )
 
@@ -139,12 +139,29 @@ type goldenProduct struct {
 	k    *Kernel
 	rows sync.Map // int -> []float64
 	cols sync.Map // int -> []float64
+	scr  *scratch.Pool[*runScratch]
+}
+
+// runScratch is one borrowable strike working set: the epoch-stamped
+// corrupted-cell map (cleared in O(1) between strikes) plus the small
+// per-line delta buffers the cache-line and shared-tile injections used
+// to allocate fresh.
+type runScratch struct {
+	cells  scratch.IndexMap[faultyCell]
+	deltas []float64
+	ks     []int
+	tile   [TileSize]float64
 }
 
 // Golden implements kernels.Kernel. The handle is device-independent:
 // DGEMM's golden product depends only on the input matrices.
 func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
-	k.goldenOnce.Do(func() { k.golden = &goldenProduct{k: k} })
+	k.goldenOnce.Do(func() {
+		k.golden = &goldenProduct{
+			k:   k,
+			scr: scratch.NewPool(func() *runScratch { return &runScratch{} }),
+		}
+	})
 	return k.golden
 }
 
@@ -188,7 +205,7 @@ func (g *goldenProduct) col(j int) []float64 {
 type run struct {
 	k      *Kernel
 	golden *goldenProduct
-	faulty map[int]faultyCell // flat index -> corrupted cell (last write wins)
+	sc     *runScratch
 	rep    *metrics.Report
 }
 
@@ -198,15 +215,14 @@ type faultyCell struct {
 	read, expected float64
 }
 
-func (k *Kernel) newRun(g *goldenProduct) *run {
+func (k *Kernel) newRun(g *goldenProduct, reports *metrics.ReportPool) *run {
+	sc := g.scr.Get()
+	sc.cells.Clear()
 	return &run{
 		k:      k,
 		golden: g,
-		faulty: make(map[int]faultyCell),
-		rep: &metrics.Report{
-			Dims:          grid.Dims{X: k.n, Y: k.n, Z: 1},
-			TotalElements: k.n * k.n,
-		},
+		sc:     sc,
+		rep:    reports.Get(grid.Dims{X: k.n, Y: k.n, Z: 1}, k.n*k.n),
 	}
 }
 
@@ -221,13 +237,11 @@ func (r *run) goldenCol(j int) []float64 { return r.golden.col(j) }
 // would materialise whole golden rows). Deltas below one ulp vanish in
 // the addition, which is exactly the logical masking a real device would
 // exhibit. Overlapping corruptions of the same element keep the last
-// value, like overlapping stores would.
+// value, like overlapping stores would; an element whose last write
+// restored the golden value is skipped at emission, which is the same
+// report the old delete-on-equal map produced.
 func (r *run) recordWith(i, j int, faulty, golden float64) {
-	if faulty == golden {
-		delete(r.faulty, i*r.k.n+j)
-		return
-	}
-	r.faulty[i*r.k.n+j] = faultyCell{read: faulty, expected: golden}
+	r.sc.cells.Set(i*r.k.n+j, faultyCell{read: faulty, expected: golden})
 }
 
 // record stores a corrupted value, deriving golden from the row cache.
@@ -235,18 +249,17 @@ func (r *run) record(i, j int, faulty float64) {
 	r.recordWith(i, j, faulty, r.goldenRow(i)[j])
 }
 
-// finish converts stored corrupted values into the mismatch report.
-// Mismatches are emitted in row-major element order so the report is a
-// deterministic function of the corrupted set, not of map iteration.
+// finish converts stored corrupted values into the mismatch report and
+// releases the scratch. Mismatches are emitted in ascending flat-index
+// (row-major) order so the report is a deterministic function of the
+// corrupted set, exactly as the pre-pooling sort emitted them.
 func (r *run) finish() *metrics.Report {
 	n := r.k.n
-	keys := make([]int, 0, len(r.faulty))
-	for key := range r.faulty {
-		keys = append(keys, key)
-	}
-	sort.Ints(keys)
-	for _, key := range keys {
-		c := r.faulty[key]
+	for _, key := range r.sc.cells.SortedKeys() {
+		c, _ := r.sc.cells.Get(key)
+		if c.read == c.expected {
+			continue // last write restored the golden value
+		}
 		i, j := key/n, key%n
 		r.rep.Mismatches = append(r.rep.Mismatches, metrics.Mismatch{
 			Coord:     grid.Coord{X: j, Y: i},
@@ -255,6 +268,8 @@ func (r *run) finish() *metrics.Report {
 			RelErrPct: metrics.RelativeErrorPct(c.read, c.expected),
 		})
 	}
+	r.golden.scr.Put(r.sc)
+	r.sc = nil
 	return r.rep
 }
 
@@ -265,7 +280,14 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 
 // RunInjectedOn implements kernels.Kernel.
 func (k *Kernel) RunInjectedOn(g kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
-	r := k.newRun(g.(*goldenProduct))
+	return k.RunInjectedPooled(g, inj, rng, nil)
+}
+
+// RunInjectedPooled implements kernels.Kernel: the corrupted-cell map and
+// delta buffers come from the handle's scratch pool, the report from the
+// session pool.
+func (k *Kernel) RunInjectedPooled(g kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
+	r := k.newRun(g.(*goldenProduct), reports)
 	n := k.n
 
 	switch inj.Scope {
@@ -343,13 +365,14 @@ func (k *Kernel) injectCacheLines(r *run, inj arch.Injection, rng *xrand.RNG) {
 			i := rng.Intn(n)
 			k0 := alignedStart(rng, n, inj.Words)
 			row := r.goldenRow(i)
-			deltas := make([]float64, 0, inj.Words)
-			ks := make([]int, 0, inj.Words)
+			deltas := r.sc.deltas[:0]
+			ks := r.sc.ks[:0]
 			for w := 0; w < inj.Words && k0+w < n; w++ {
 				a := k.A(i, k0+w)
 				deltas = append(deltas, inj.Flip.Apply(a, rng)-a)
 				ks = append(ks, k0+w)
 			}
+			r.sc.deltas, r.sc.ks = deltas, ks // keep grown capacity pooled
 			for j := 0; j < n; j++ {
 				d := 0.0
 				for t, kk := range ks {
@@ -389,8 +412,11 @@ func (k *Kernel) injectSharedTile(r *run, inj arch.Injection, rng *xrand.RNG) {
 	i := bi*TileSize + rng.Intn(TileSize)
 	k0 := alignedStart(rng, n, inj.Words)
 	row := r.goldenRow(i)
-	// Accumulate the combined delta of all corrupted words per output.
-	deltas := make([]float64, TileSize)
+	// Accumulate the combined delta of all corrupted words per output in
+	// the scratch tile buffer (zeroed here, not at release: only this
+	// injection scope uses it).
+	deltas := r.sc.tile[:]
+	clear(deltas)
 	for w := 0; w < inj.Words && k0+w < n; w++ {
 		kk := k0 + w
 		a := k.A(i, kk)

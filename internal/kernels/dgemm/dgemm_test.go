@@ -72,7 +72,7 @@ func TestGoldenHandleMemoised(t *testing.T) {
 
 func TestGoldenRowColAgree(t *testing.T) {
 	k := New(64)
-	r := k.newRun(k.Golden(nil).(*goldenProduct))
+	r := k.newRun(k.Golden(nil).(*goldenProduct), nil)
 	row := r.goldenRow(5)
 	col := r.goldenCol(9)
 	direct := k.GoldenElem(5, 9)
@@ -109,7 +109,7 @@ func TestDeltaPropagationMatchesBruteForce(t *testing.T) {
 	}
 
 	// Delta propagation.
-	r := k.newRun(k.Golden(nil).(*goldenProduct))
+	r := k.newRun(k.Golden(nil).(*goldenProduct), nil)
 	row := r.goldenRow(i0)
 	d := corrupted - orig
 	for j := 0; j < n; j++ {

@@ -17,15 +17,122 @@ func TestDiffFieldL1NormDecays(t *testing.T) {
 	// T steps must be non-increasing in T.
 	for _, steps := range []int{2, 3, 4, 6, 8, 10} {
 		k := New(48, steps)
-		diff := k.evolveDiff(seeds, 0)
+		sc := newTestScratch(k)
+		k.evolveDiff(sc, seeds, 0)
 		var norm float64
-		for _, d := range diff {
+		for _, d := range sc.diff {
 			norm += math.Abs(d)
 		}
 		if norm > prev*(1+1e-12) {
 			t.Fatalf("L1 norm grew at %d steps: %v > %v", steps, norm, prev)
 		}
 		prev = norm
+	}
+}
+
+func newTestScratch(k *Kernel) *evolveScratch {
+	n := k.side * k.side
+	return &evolveScratch{diff: make([]float64, n), next: make([]float64, n)}
+}
+
+// naiveEvolve is the reference implementation the adaptive box must match
+// bit for bit: the full-grid homogeneous recurrence with checked
+// neighbour reads everywhere.
+func naiveEvolve(k *Kernel, seeds []diffSeed, t0 int) []float64 {
+	s := k.side
+	diff := make([]float64, s*s)
+	for _, sd := range seeds {
+		diff[sd.y*s+sd.x] += sd.d
+	}
+	next := make([]float64, s*s)
+	for it := t0; it < k.iters; it++ {
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				i := y*s + x
+				d := diff[i]
+				n := dneighbor(diff, s, x, y-1, d)
+				so := dneighbor(diff, s, x, y+1, d)
+				w := dneighbor(diff, s, x-1, y, d)
+				e := dneighbor(diff, s, x+1, y, d)
+				next[i] = d + Diff*((n+so+e+w)-4*d) - Sink*d
+			}
+		}
+		diff, next = next, diff
+	}
+	return diff
+}
+
+// The adaptive bounding box (grow by stencil radius, shrink on exact-zero
+// edges, interior fast path) is an optimisation, not a model change: it
+// must reproduce the naive full-grid evolution bit for bit, including
+// seeds at grid corners where the checked boundary path engages.
+func TestEvolveDiffMatchesNaiveBitwise(t *testing.T) {
+	cases := [][]diffSeed{
+		{{x: 10, y: 12, d: 3.7}},
+		{{x: 0, y: 0, d: -2.5}},                       // corner: boundary slow path
+		{{x: 31, y: 5, d: 1e-3}, {x: 4, y: 30, d: 9}}, // disjoint seeds, one box
+		{{x: 15, y: 0, d: 0.5}, {x: 15, y: 31, d: -0.5}},
+	}
+	for ci, seeds := range cases {
+		k := New(32, 24)
+		sc := newTestScratch(k)
+		bx := k.evolveDiff(sc, seeds, 0)
+		want := naiveEvolve(k, seeds, 0)
+		for i := range want {
+			if math.Float64bits(sc.diff[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("case %d: cell %d differs: boxed %v vs naive %v", ci, i, sc.diff[i], want[i])
+			}
+		}
+		// Every nonzero cell must sit inside the reported box.
+		for i, d := range sc.diff {
+			if d == 0 {
+				continue
+			}
+			x, y := i%32, i/32
+			if x < bx.minX || x > bx.maxX || y < bx.minY || y > bx.maxY {
+				t.Fatalf("case %d: nonzero cell (%d,%d) outside box %+v", ci, x, y, bx)
+			}
+		}
+	}
+}
+
+// A seed that underflows to exactly zero must collapse the bounding box
+// to empty and end the evolution early: the long-horizon payoff of the
+// shrink rule. A one-ulp denormal seed u does so after a single step:
+// Diff*(-4u) rounds to -u (cancelling the centre), while Diff*u and
+// Sink*u round to zero (0.18 and 0.05 of an ulp are below the halfway
+// point), so every cell of the first step's box is exactly zero.
+func TestEvolveDiffBoxCollapsesOnFullDecay(t *testing.T) {
+	k := New(48, 48)
+	sc := newTestScratch(k)
+	bx := k.evolveDiff(sc, []diffSeed{{x: 24, y: 24, d: math.SmallestNonzeroFloat64}}, 0)
+	if bx.maxX >= bx.minX {
+		t.Fatalf("box did not collapse: %+v", bx)
+	}
+	for i, d := range sc.diff {
+		if d != 0 {
+			t.Fatalf("cell %d nonzero (%v) after full decay", i, d)
+		}
+	}
+}
+
+// After a pooled run the borrowed diff grid must be handed back all-zero:
+// the pool invariant every later strike relies on.
+func TestPooledScratchReturnsZeroed(t *testing.T) {
+	k := New(32, 16)
+	sc := newTestScratch(k)
+	seeds := []diffSeed{{x: 3, y: 29, d: 42}}
+	bx := k.evolveDiff(sc, seeds, 0)
+	// Mirror RunInjectedPooled's release step.
+	for y := bx.minY; y <= bx.maxY && bx.maxX >= bx.minX; y++ {
+		for x := bx.minX; x <= bx.maxX; x++ {
+			sc.diff[y*32+x] = 0
+		}
+	}
+	for i, d := range sc.diff {
+		if d != 0 {
+			t.Fatalf("cell %d survived box zeroing: %v", i, d)
+		}
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"radcrit/internal/grid"
 	"radcrit/internal/kernels"
 	"radcrit/internal/metrics"
+	"radcrit/internal/scratch"
 	"radcrit/internal/xrand"
 )
 
@@ -70,9 +71,21 @@ type Kernel struct {
 // computed once at construction plus a bounded memo of fully reconstructed
 // per-iteration states, so strikes landing on the same iteration stop
 // re-stepping from the nearest snapshot. Memoised slices are read-only.
+// It also owns the pool of per-strike evolve scratch, shared by every
+// worker of a campaign session.
 type goldenTimeline struct {
 	k      *Kernel
 	states kernels.TimelineMemo[[]float32]
+	scr    *scratch.Pool[*evolveScratch]
+}
+
+// evolveScratch is one borrowable strike working set. Pool invariant:
+// diff is all-zero on Get (RunInjectedPooled re-zeroes only the strike's
+// final bounding box before Put); next and seeds may hold stale data —
+// next is always written before read and seeds is truncated on borrow.
+type evolveScratch struct {
+	diff, next []float64
+	seeds      []diffSeed
 }
 
 // stateAt returns the golden temperature field at iteration it. The
@@ -84,7 +97,15 @@ func (g *goldenTimeline) stateAt(it int) []float32 {
 // Golden implements kernels.Kernel. The handle is device-independent:
 // HotSpot's golden timeline depends only on the input configuration.
 func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
-	k.handleOnce.Do(func() { k.handle = &goldenTimeline{k: k} })
+	k.handleOnce.Do(func() {
+		n := k.side * k.side
+		k.handle = &goldenTimeline{
+			k: k,
+			scr: scratch.NewPool(func() *evolveScratch {
+				return &evolveScratch{diff: make([]float64, n), next: make([]float64, n)}
+			}),
+		}
+	})
 	return k.handle
 }
 
@@ -277,23 +298,36 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 
 // RunInjectedOn implements kernels.Kernel.
 func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
+	return k.RunInjectedPooled(gs, inj, rng, nil)
+}
+
+// RunInjectedPooled implements kernels.Kernel: the evolve grids and seed
+// list are borrowed from the handle's scratch pool, and only the strike's
+// final diff bounding box is scanned for the report and re-zeroed before
+// release, so a strike's cost tracks the perturbed region, not the domain.
+func (k *Kernel) RunInjectedPooled(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
 	g := gs.(*goldenTimeline)
 	t0 := int(inj.When * float64(k.iters))
 	if t0 >= k.iters {
 		t0 = k.iters - 1
 	}
 	state := g.stateAt(t0)
-	seeds, start := k.buildSeeds(g, state, inj, rng, t0)
-	diff := k.evolveDiff(seeds, start)
-	return k.reportFromDiff(diff)
+	sc := g.scr.Get()
+	seeds, start := k.buildSeeds(g, state, inj, rng, t0, sc.seeds[:0])
+	sc.seeds = seeds // keep grown capacity pooled
+	bx := k.evolveDiff(sc, seeds, start)
+	rep := k.reportFromDiff(reports, sc.diff, bx)
+	scratch.ZeroBox(sc.diff, k.side, bx.minX, bx.minY, bx.maxX, bx.maxY)
+	g.scr.Put(sc)
+	return rep
 }
 
 // buildSeeds translates the injection into initial difference-field seeds
-// and the iteration at which they enter the field. state is read-only.
-func (k *Kernel) buildSeeds(g *goldenTimeline, state []float32, inj arch.Injection, rng *xrand.RNG, t0 int) ([]diffSeed, int) {
+// and the iteration at which they enter the field, appending onto the
+// caller's (possibly recycled) seed slice. state is read-only.
+func (k *Kernel) buildSeeds(g *goldenTimeline, state []float32, inj arch.Injection, rng *xrand.RNG, t0 int, seeds []diffSeed) ([]diffSeed, int) {
 	s := k.side
 	cells := s * s
-	var seeds []diffSeed
 	addFlip := func(idx int) {
 		v := state[idx]
 		f := inj.Flip.Apply32(v, rng)
@@ -356,13 +390,28 @@ func (k *Kernel) buildSeeds(g *goldenTimeline, state []float32, inj arch.Injecti
 	return seeds, t0
 }
 
+// diffBox is the closed bounding box of the active difference field;
+// empty (maxX < minX) when the field is identically zero.
+type diffBox struct {
+	minX, minY, maxX, maxY int
+}
+
+func emptyBox() diffBox { return diffBox{minX: 1, maxX: 0} }
+
 // evolveDiff advances the difference field from iteration t0 to the end
-// inside a growing bounding box (the homogeneous stencil recurrence).
-func (k *Kernel) evolveDiff(seeds []diffSeed, t0 int) []float64 {
+// inside an adaptive bounding box: the box grows by the stencil radius
+// each step and shrinks again when edge rows or columns decay to exactly
+// zero, so long-horizon strikes stop paying for a box that only ever
+// grew. The restriction is bit-exact: cells outside the box are exactly
+// zero, and the homogeneous recurrence maps an all-zero neighbourhood to
+// exactly zero, so skipping those cells computes the same field a
+// full-grid evolution would. Returns the final bounding box; sc.diff
+// holds the field.
+func (k *Kernel) evolveDiff(sc *evolveScratch, seeds []diffSeed, t0 int) diffBox {
 	s := k.side
-	diff := make([]float64, s*s)
+	diff, next := sc.diff, sc.next
 	if len(seeds) == 0 {
-		return diff
+		return emptyBox()
 	}
 	minX, minY, maxX, maxY := s, s, -1, -1
 	for _, sd := range seeds {
@@ -370,27 +419,92 @@ func (k *Kernel) evolveDiff(seeds []diffSeed, t0 int) []float64 {
 		minX, minY = min(minX, sd.x), min(minY, sd.y)
 		maxX, maxY = max(maxX, sd.x), max(maxY, sd.y)
 	}
-	next := make([]float64, s*s)
 	for it := t0; it < k.iters; it++ {
 		// Expand the active box by the stencil radius.
 		minX, minY = max(0, minX-1), max(0, minY-1)
 		maxX, maxY = min(s-1, maxX+1), min(s-1, maxY+1)
 		for y := minY; y <= maxY; y++ {
-			for x := minX; x <= maxX; x++ {
-				i := y*s + x
+			// Interior rows take a bounds-free fast path; grid-edge rows
+			// and columns fall back to the checked neighbour reads. Both
+			// evaluate the identical float expression in identical order.
+			if y == 0 || y == s-1 {
+				for x := minX; x <= maxX; x++ {
+					k.evolveCell(diff, next, x, y)
+				}
+				continue
+			}
+			x := minX
+			if x == 0 {
+				k.evolveCell(diff, next, 0, y)
+				x = 1
+			}
+			xHi := maxX
+			if xHi == s-1 {
+				xHi = s - 2
+			}
+			row := y * s
+			for ; x <= xHi; x++ {
+				i := row + x
 				d := diff[i]
-				n := dneighbor(diff, s, x, y-1, d)
-				so := dneighbor(diff, s, x, y+1, d)
-				w := dneighbor(diff, s, x-1, y, d)
-				e := dneighbor(diff, s, x+1, y, d)
-				next[i] = d + Diff*((n+so+e+w)-4*d) - Sink*d
+				next[i] = d + Diff*((diff[i-s]+diff[i+s]+diff[i+1]+diff[i-1])-4*d) - Sink*d
+			}
+			if maxX == s-1 {
+				k.evolveCell(diff, next, s-1, y)
 			}
 		}
 		for y := minY; y <= maxY; y++ {
 			copy(diff[y*s+minX:y*s+maxX+1], next[y*s+minX:y*s+maxX+1])
 		}
+		// Shrink edges that decayed to exactly zero; an empty box means
+		// the field fully dissipated and further iterations are identity.
+		for minY <= maxY && rowZero(diff, s, minY, minX, maxX) {
+			minY++
+		}
+		for minY <= maxY && rowZero(diff, s, maxY, minX, maxX) {
+			maxY--
+		}
+		if minY > maxY {
+			return emptyBox()
+		}
+		for minX <= maxX && colZero(diff, s, minX, minY, maxY) {
+			minX++
+		}
+		for minX <= maxX && colZero(diff, s, maxX, minY, maxY) {
+			maxX--
+		}
 	}
-	return diff
+	return diffBox{minX: minX, minY: minY, maxX: maxX, maxY: maxY}
+}
+
+// evolveCell is the checked-stencil update of one cell: the slow path for
+// grid-edge cells, bitwise identical to the interior fast path.
+func (k *Kernel) evolveCell(diff, next []float64, x, y int) {
+	s := k.side
+	i := y*s + x
+	d := diff[i]
+	n := dneighbor(diff, s, x, y-1, d)
+	so := dneighbor(diff, s, x, y+1, d)
+	w := dneighbor(diff, s, x-1, y, d)
+	e := dneighbor(diff, s, x+1, y, d)
+	next[i] = d + Diff*((n+so+e+w)-4*d) - Sink*d
+}
+
+func rowZero(d []float64, s, y, x0, x1 int) bool {
+	for _, v := range d[y*s+x0 : y*s+x1+1] {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func colZero(d []float64, s, x, y0, y1 int) bool {
+	for y := y0; y <= y1; y++ {
+		if d[y*s+x] != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func dneighbor(d []float64, s, x, y int, self float64) float64 {
@@ -402,28 +516,31 @@ func dneighbor(d []float64, s, x, y int, self float64) float64 {
 
 // reportFromDiff converts the final difference field into a mismatch
 // report, discarding sub-ulp differences that float32 arithmetic would
-// have rounded away.
-func (k *Kernel) reportFromDiff(diff []float64) *metrics.Report {
+// have rounded away. Only the final bounding box is scanned — every cell
+// outside it is exactly zero — in the same row-major order a full-grid
+// scan would visit, so the report is unchanged by the restriction.
+func (k *Kernel) reportFromDiff(pool *metrics.ReportPool, diff []float64, bx diffBox) *metrics.Report {
 	s := k.side
-	rep := &metrics.Report{
-		Dims:          grid.Dims{X: s, Y: s, Z: 1},
-		TotalElements: s * s,
-	}
-	for i, d := range diff {
-		if d == 0 {
-			continue
+	rep := pool.Get(grid.Dims{X: s, Y: s, Z: 1}, s*s)
+	for y := bx.minY; y <= bx.maxY; y++ {
+		for x := bx.minX; x <= bx.maxX; x++ {
+			i := y*s + x
+			d := diff[i]
+			if d == 0 {
+				continue
+			}
+			g := float64(k.final[i])
+			if math.Abs(d) < math.Abs(g)*ulp32 {
+				continue
+			}
+			read := g + d
+			rep.Mismatches = append(rep.Mismatches, metrics.Mismatch{
+				Coord:     grid.Coord{X: x, Y: y},
+				Read:      read,
+				Expected:  g,
+				RelErrPct: metrics.RelativeErrorPct(read, g),
+			})
 		}
-		g := float64(k.final[i])
-		if math.Abs(d) < math.Abs(g)*ulp32 {
-			continue
-		}
-		read := g + d
-		rep.Mismatches = append(rep.Mismatches, metrics.Mismatch{
-			Coord:     grid.Coord{X: i % s, Y: i / s},
-			Read:      read,
-			Expected:  g,
-			RelErrPct: metrics.RelativeErrorPct(read, g),
-		})
 	}
 	return rep
 }

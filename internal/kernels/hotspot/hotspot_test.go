@@ -104,7 +104,9 @@ func TestDiffEvolutionMatchesBruteForce(t *testing.T) {
 
 	// Diff evolution of the same corruption.
 	seeds := []diffSeed{{x: cx, y: cy, d: float64(corrupted) - float64(k.stateAt(t0)[idx])}}
-	diff := k.evolveDiff(seeds, t0)
+	sc := newTestScratch(k)
+	k.evolveDiff(sc, seeds, t0)
+	diff := sc.diff
 
 	worst := 0.0
 	for i := range state {

@@ -72,9 +72,20 @@ type Kernel interface {
 	// It is shorthand for RunInjectedOn(Golden(dev), inj, rng).
 	RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG) *metrics.Report
 	// RunInjectedOn is RunInjected against a prepared golden-state handle
-	// (from Golden on the desired device): the hot path of campaign
-	// engines, which hoist the handle out of the strike loop.
+	// (from Golden on the desired device). It is shorthand for
+	// RunInjectedPooled(g, inj, rng, nil): the report is freshly
+	// allocated and belongs to the caller outright.
 	RunInjectedOn(g GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report
+	// RunInjectedPooled is the zero-allocation hot path of campaign
+	// engines: internal working state (difference grids, corrupted-cell
+	// maps) is borrowed from pools owned by the golden-state handle, and
+	// the returned report is borrowed from reports when it is non-nil.
+	// The caller owns the returned report and may hand it back to the
+	// pool (injector.Session.ReleaseReport) once no reference to it can
+	// be used again; a nil reports pool degrades to plain allocation.
+	// Pooled and unpooled runs are bit-identical for the same (handle,
+	// injection, RNG state) — pinned by TestPooledKernelPathsBitIdentical.
+	RunInjectedPooled(g GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report
 }
 
 // DenseRunner is implemented by kernels that can materialise full golden

@@ -16,13 +16,13 @@ package lavamd
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"radcrit/internal/arch"
 	"radcrit/internal/grid"
 	"radcrit/internal/kernels"
 	"radcrit/internal/metrics"
+	"radcrit/internal/scratch"
 	"radcrit/internal/xrand"
 )
 
@@ -48,10 +48,30 @@ type Kernel struct {
 }
 
 // goldenHandle is LavaMD's golden-state handle: the device's particle
-// count per box plus access to the kernel's shared potential cache.
+// count per box, access to the kernel's shared potential cache, and the
+// pool of per-strike scratch shared by a campaign session's workers.
 type goldenHandle struct {
-	k *Kernel
-	p int
+	k   *Kernel
+	p   int
+	scr *scratch.Pool[*runScratch]
+}
+
+// runScratch is one borrowable strike working set: the epoch-stamped
+// faulty-potential map (cleared in O(1) between strikes) plus the small
+// neighbour-enumeration buffers the injections used to allocate fresh.
+type runScratch struct {
+	faulty scratch.IndexMap[float64]
+	nbs    []nb
+	cs     []corruptedParticle
+}
+
+// nb is one box of a cut-off neighbourhood.
+type nb struct{ x, y, z int }
+
+// corruptedParticle identifies one corrupted particle-state word.
+type corruptedParticle struct {
+	bx, by, bz, idx int
+	comp            int
 }
 
 // Golden implements kernels.Kernel.
@@ -60,7 +80,9 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 	if v, ok := k.handles.Load(p); ok {
 		return v.(*goldenHandle)
 	}
-	v, _ := k.handles.LoadOrStore(p, &goldenHandle{k: k, p: p})
+	h := &goldenHandle{k: k, p: p,
+		scr: scratch.NewPool(func() *runScratch { return &runScratch{} })}
+	v, _ := k.handles.LoadOrStore(p, h)
 	return v.(*goldenHandle)
 }
 
@@ -134,18 +156,13 @@ func interaction(xi, yi, zi, xj, yj, zj, qj float64) float64 {
 func (k *Kernel) boxIndex(bx, by, bz int) int { return (bz*k.g+by)*k.g + bx }
 
 // neighbors calls fn for every box in b's cut-off neighbourhood including
-// b itself.
+// b itself. It delegates to appendNeighbors so the enumeration order —
+// which the injected paths' RNG consumption depends on — has exactly one
+// definition.
 func (k *Kernel) neighbors(bx, by, bz int, fn func(nx, ny, nz int)) {
-	for dz := -1; dz <= 1; dz++ {
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny, nz := bx+dx, by+dy, bz+dz
-				if nx < 0 || nx >= k.g || ny < 0 || ny >= k.g || nz < 0 || nz >= k.g {
-					continue
-				}
-				fn(nx, ny, nz)
-			}
-		}
+	var buf [27]nb
+	for _, b := range k.appendNeighbors(buf[:0], bx, by, bz) {
+		fn(b.x, b.y, b.z)
 	}
 }
 
@@ -235,25 +252,26 @@ func (k *Kernel) outputDimsP(p int) grid.Dims {
 }
 
 // run carries per-execution corrupted state on top of the shared golden
-// handle.
+// handle. The faulty-potential map (flat particle id -> potential) and
+// neighbour buffers live in scratch borrowed from the handle's pool.
 type run struct {
-	k *Kernel
-	p int
-	// faulty holds corrupted potentials keyed by flat particle id.
-	faulty map[int]float64
-	rep    *metrics.Report
+	k   *Kernel
+	g   *goldenHandle
+	p   int
+	sc  *runScratch
+	rep *metrics.Report
 }
 
-func (k *Kernel) newRun(g *goldenHandle) *run {
+func (k *Kernel) newRun(g *goldenHandle, reports *metrics.ReportPool) *run {
 	dims := k.outputDimsP(g.p)
+	sc := g.scr.Get()
+	sc.faulty.Clear()
 	return &run{
-		k:      k,
-		p:      g.p,
-		faulty: make(map[int]float64),
-		rep: &metrics.Report{
-			Dims:          dims,
-			TotalElements: dims.Len(),
-		},
+		k:   k,
+		g:   g,
+		p:   g.p,
+		sc:  sc,
+		rep: reports.Get(dims, dims.Len()),
 	}
 }
 
@@ -267,29 +285,28 @@ func (r *run) adjust(bx, by, bz, idx int, delta float64) {
 		return
 	}
 	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
-	if _, ok := r.faulty[key]; !ok {
-		r.faulty[key] = r.k.goldenPotential(r.p, bx, by, bz, idx)
+	// goldenPotential never touches the faulty map, so the slot pointer
+	// stays valid across the initialisation.
+	slot, fresh := r.sc.faulty.Ref(key)
+	if fresh {
+		*slot = r.k.goldenPotential(r.p, bx, by, bz, idx)
 	}
-	r.faulty[key] += delta
+	*slot += delta
 }
 
 // set overrides a particle's faulty potential outright.
 func (r *run) set(bx, by, bz, idx int, v float64) {
 	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
-	r.faulty[key] = v
+	r.sc.faulty.Set(key, v)
 }
 
-// finish converts accumulated faulty values into the mismatch report.
-// Mismatches are emitted in particle-id order so the report is a
-// deterministic function of the corrupted set, not of map iteration.
+// finish converts accumulated faulty values into the mismatch report and
+// releases the scratch. Mismatches are emitted in ascending particle-id
+// order so the report is a deterministic function of the corrupted set,
+// exactly as the pre-pooling sort emitted them.
 func (r *run) finish() *metrics.Report {
-	keys := make([]int, 0, len(r.faulty))
-	for key := range r.faulty {
-		keys = append(keys, key)
-	}
-	sort.Ints(keys)
-	for _, key := range keys {
-		v := r.faulty[key]
+	for _, key := range r.sc.faulty.SortedKeys() {
+		v, _ := r.sc.faulty.Get(key)
 		idx := key & 0xFFF
 		box := key >> 12
 		bx := box % r.k.g
@@ -306,6 +323,8 @@ func (r *run) finish() *metrics.Report {
 			RelErrPct: metrics.RelativeErrorPct(v, g),
 		})
 	}
+	r.g.scr.Put(r.sc)
+	r.sc = nil
 	return r.rep
 }
 
@@ -316,7 +335,14 @@ func (k *Kernel) RunInjected(dev arch.Device, inj arch.Injection, rng *xrand.RNG
 
 // RunInjectedOn implements kernels.Kernel.
 func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG) *metrics.Report {
-	r := k.newRun(gs.(*goldenHandle))
+	return k.RunInjectedPooled(gs, inj, rng, nil)
+}
+
+// RunInjectedPooled implements kernels.Kernel: the faulty-potential map
+// and neighbour buffers come from the handle's scratch pool, the report
+// from the session pool.
+func (k *Kernel) RunInjectedPooled(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
+	r := k.newRun(gs.(*goldenHandle), reports)
 	p := r.p
 	g := k.g
 	randBox := func() (int, int, int) { return rng.Intn(g), rng.Intn(g), rng.Intn(g) }
@@ -334,7 +360,7 @@ func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *
 		// SDCs are uniformly enormous (§V-E).
 		bx, by, bz := randBox()
 		idx := rng.Intn(p)
-		t := k.randomTerm(p, bx, by, bz, idx, rng)
+		t := k.randomTerm(r.sc, p, bx, by, bz, idx, rng)
 		shift := 4 + rng.Intn(28)
 		scale := math.Ldexp(1, shift)
 		if rng.Bool(0.3) {
@@ -370,27 +396,44 @@ func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *
 	return r.finish()
 }
 
+// appendNeighbors collects the cut-off neighbourhood of (bx,by,bz) into
+// buf[:0] — the same enumeration order as neighbors, without the
+// callback's per-call closure allocation.
+func (k *Kernel) appendNeighbors(buf []nb, bx, by, bz int) []nb {
+	buf = buf[:0]
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny, nz := bx+dx, by+dy, bz+dz
+				if nx < 0 || nx >= k.g || ny < 0 || ny >= k.g || nz < 0 || nz >= k.g {
+					continue
+				}
+				buf = append(buf, nb{nx, ny, nz})
+			}
+		}
+	}
+	return buf
+}
+
 // randomTerm returns one golden pairwise term of particle idx.
-func (k *Kernel) randomTerm(p, bx, by, bz, idx int, rng *xrand.RNG) float64 {
+func (k *Kernel) randomTerm(sc *runScratch, p, bx, by, bz, idx int, rng *xrand.RNG) float64 {
 	xi, yi, zi, _ := k.particle(bx, by, bz, idx)
-	nx, ny, nz, j := k.randomNeighborParticle(p, bx, by, bz, idx, rng)
+	nx, ny, nz, j := k.randomNeighborParticle(sc, p, bx, by, bz, idx, rng)
 	xj, yj, zj, qj := k.particle(nx, ny, nz, j)
 	return interaction(xi, yi, zi, xj, yj, zj, qj)
 }
 
 // randomNeighborParticle picks a random interaction partner of (box, idx)
 // among the p particles of each neighbouring box, excluding idx itself.
-func (k *Kernel) randomNeighborParticle(p, bx, by, bz, idx int, rng *xrand.RNG) (nx, ny, nz, j int) {
-	type box struct{ x, y, z int }
-	var nbs []box
-	k.neighbors(bx, by, bz, func(x, y, z int) { nbs = append(nbs, box{x, y, z}) })
+func (k *Kernel) randomNeighborParticle(sc *runScratch, p, bx, by, bz, idx int, rng *xrand.RNG) (nx, ny, nz, j int) {
+	sc.nbs = k.appendNeighbors(sc.nbs, bx, by, bz)
 	for {
-		nb := nbs[rng.Intn(len(nbs))]
+		b := sc.nbs[rng.Intn(len(sc.nbs))]
 		j = rng.Intn(p)
-		if nb.x == bx && nb.y == by && nb.z == bz && j == idx {
+		if b.x == bx && b.y == by && b.z == bz && j == idx {
 			continue // no self-interaction; p > 1 guarantees progress
 		}
-		return nb.x, nb.y, nb.z, j
+		return b.x, b.y, b.z, j
 	}
 }
 
@@ -404,12 +447,8 @@ func (k *Kernel) injectCacheLines(r *run, inj arch.Injection, rng *xrand.RNG) {
 	totalWords := g * g * g * p * ParticleWords
 	for line := 0; line < inj.Lines; line++ {
 		w0 := alignedStart(rng, totalWords, inj.Words)
-		// Collect corrupted particles (deduplicated) and their new state.
-		type corruptedParticle struct {
-			bx, by, bz, idx int
-			comp            int
-		}
-		var cs []corruptedParticle
+		// Collect the corrupted particle words into recycled scratch.
+		cs := r.sc.cs[:0]
 		for w := 0; w < inj.Words && w0+w < totalWords; w++ {
 			word := w0 + w
 			gidx := word / ParticleWords
@@ -421,6 +460,7 @@ func (k *Kernel) injectCacheLines(r *run, inj arch.Injection, rng *xrand.RNG) {
 			bz := box / (g * g)
 			cs = append(cs, corruptedParticle{bx, by, bz, idx, comp})
 		}
+		r.sc.cs = cs // keep grown capacity pooled
 		for _, c := range cs {
 			k.propagateParticleCorruption(r, inj, rng, c.bx, c.by, c.bz, c.idx, c.comp)
 		}
@@ -479,10 +519,8 @@ func (k *Kernel) injectSharedTile(r *run, inj arch.Injection, rng *xrand.RNG) {
 	p := r.p
 	g := k.g
 	cx, cy, cz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
-	type box struct{ x, y, z int }
-	var nbs []box
-	k.neighbors(cx, cy, cz, func(x, y, z int) { nbs = append(nbs, box{x, y, z}) })
-	nb := nbs[rng.Intn(len(nbs))]
+	r.sc.nbs = k.appendNeighbors(r.sc.nbs, cx, cy, cz)
+	nb := r.sc.nbs[rng.Intn(len(r.sc.nbs))]
 
 	w0 := alignedStart(rng, p*ParticleWords, inj.Words)
 	for w := 0; w < inj.Words && w0+w < p*ParticleWords; w++ {

@@ -16,6 +16,8 @@ package metrics
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"radcrit/internal/grid"
 )
@@ -54,16 +56,104 @@ type Mismatch struct {
 
 // Report holds the criticality metrics of one execution's output against
 // its golden output.
+//
+// Reports are cheap to recycle: a campaign session borrows them from a
+// ReportPool, and Reset returns one to its empty state while keeping the
+// mismatch slice's capacity. Use pointers — the lazily built accessor
+// caches make Report values non-copyable (go vet enforces this).
 type Report struct {
 	// Dims is the shape of the compared output.
 	Dims grid.Dims
 	// TotalElements is the number of output elements compared.
 	TotalElements int
-	// Mismatches lists every corrupted element.
+	// Mismatches lists every corrupted element. Builders append here
+	// directly; established mismatches must never be mutated in place
+	// (the accessor caches key off the slice length only).
 	Mismatches []Mismatch
 	// ThresholdPct is the relative-error filter already applied to
 	// Mismatches (0 means unfiltered).
 	ThresholdPct float64
+
+	// coords and relErrs cache the Coords/RelErrsPct derivations, which
+	// the figure builders request once per threshold per report. Atomic
+	// pointers keep concurrent readers race-free: racing builders compute
+	// identical caches and either may win.
+	coords  atomic.Pointer[coordsCache]
+	relErrs atomic.Pointer[relErrsCache]
+}
+
+type coordsCache struct {
+	n      int
+	coords []grid.Coord
+}
+
+type relErrsCache struct {
+	n    int
+	errs []float64
+}
+
+// Reset returns the report to its empty state, retaining the mismatch
+// slice's capacity for reuse. Any slices previously handed out by
+// Mismatches, Coords or RelErrsPct become invalid.
+func (r *Report) Reset() {
+	r.Dims = grid.Dims{}
+	r.TotalElements = 0
+	r.Mismatches = r.Mismatches[:0]
+	r.ThresholdPct = 0
+	r.coords.Store(nil)
+	r.relErrs.Store(nil)
+}
+
+// Clone returns a deep copy of the report whose lifetime is independent of
+// the receiver — the escape hatch for consumers that retain reports past a
+// pooled report's release (e.g. the batch campaign engine's result sink).
+func (r *Report) Clone() *Report {
+	out := &Report{
+		Dims:          r.Dims,
+		TotalElements: r.TotalElements,
+		ThresholdPct:  r.ThresholdPct,
+	}
+	if len(r.Mismatches) > 0 {
+		out.Mismatches = append(make([]Mismatch, 0, len(r.Mismatches)), r.Mismatches...)
+	}
+	return out
+}
+
+// ReportPool recycles Reports across the strikes of a campaign session so
+// the hot path stops allocating one report (plus its mismatch slice) per
+// execution. A nil *ReportPool is valid and degrades to plain allocation,
+// which is how the unpooled compat paths run. Safe for concurrent use.
+//
+// Ownership contract (DESIGN.md §8): Get transfers ownership to the
+// caller; Put takes it back and must only be called once no reference to
+// the report — including its Mismatches backing array — can be used again.
+// Callers that need to retain a pooled report Clone it instead.
+type ReportPool struct {
+	pool sync.Pool
+}
+
+// Get borrows an empty report shaped (dims, totalElements).
+func (p *ReportPool) Get(dims grid.Dims, totalElements int) *Report {
+	if p == nil {
+		return &Report{Dims: dims, TotalElements: totalElements}
+	}
+	r, ok := p.pool.Get().(*Report)
+	if !ok {
+		r = &Report{}
+	}
+	r.Dims = dims
+	r.TotalElements = totalElements
+	return r
+}
+
+// Put resets r and returns it to the pool. Nil pools and nil reports are
+// no-ops, so release paths need no guards.
+func (p *ReportPool) Put(r *Report) {
+	if p == nil || r == nil {
+		return
+	}
+	r.Reset()
+	p.pool.Put(r)
 }
 
 // Evaluate compares observed against golden and returns the unfiltered
@@ -168,12 +258,19 @@ func (r *Report) CorruptedFraction() float64 {
 	return float64(len(r.Mismatches)) / float64(r.TotalElements)
 }
 
-// Coords returns the coordinates of all mismatches.
+// Coords returns the coordinates of all mismatches. The slice comes from
+// a lazily built cache shared by every caller (the figure builders ask
+// once per threshold per report): treat it as read-only. It is valid until
+// the report is Reset.
 func (r *Report) Coords() []grid.Coord {
+	if c := r.coords.Load(); c != nil && c.n == len(r.Mismatches) {
+		return c.coords
+	}
 	cs := make([]grid.Coord, len(r.Mismatches))
 	for i, m := range r.Mismatches {
 		cs[i] = m.Coord
 	}
+	r.coords.Store(&coordsCache{n: len(cs), coords: cs})
 	return cs
 }
 
@@ -183,11 +280,17 @@ func (r *Report) Locality() Pattern {
 }
 
 // RelErrsPct returns the per-element relative errors, sorted ascending.
+// Like Coords, the slice comes from a lazily built shared cache: treat it
+// as read-only; it is valid until the report is Reset.
 func (r *Report) RelErrsPct() []float64 {
+	if c := r.relErrs.Load(); c != nil && c.n == len(r.Mismatches) {
+		return c.errs
+	}
 	es := make([]float64, len(r.Mismatches))
 	for i, m := range r.Mismatches {
 		es[i] = m.RelErrPct
 	}
 	sort.Float64s(es)
+	r.relErrs.Store(&relErrsCache{n: len(es), errs: es})
 	return es
 }

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"testing"
+
+	"radcrit/internal/grid"
+)
+
+func sampleReport() *Report {
+	r := &Report{Dims: grid.Dims{X: 4, Y: 4, Z: 1}, TotalElements: 16, ThresholdPct: 2}
+	r.Mismatches = append(r.Mismatches,
+		Mismatch{Coord: grid.Coord{X: 1, Y: 2}, Read: 5, Expected: 4, RelErrPct: 25},
+		Mismatch{Coord: grid.Coord{X: 3, Y: 0}, Read: 2, Expected: 4, RelErrPct: 50},
+		Mismatch{Coord: grid.Coord{X: 0, Y: 1}, Read: 4.1, Expected: 4, RelErrPct: 2.5},
+	)
+	return r
+}
+
+func TestReportReset(t *testing.T) {
+	r := sampleReport()
+	_ = r.Coords() // populate the caches so Reset must drop them
+	_ = r.RelErrsPct()
+	r.Reset()
+	if r.Count() != 0 || r.TotalElements != 0 || r.ThresholdPct != 0 || r.Dims != (grid.Dims{}) {
+		t.Fatalf("Reset left state behind: %+v", r)
+	}
+	if len(r.Coords()) != 0 || len(r.RelErrsPct()) != 0 {
+		t.Fatal("Reset kept stale accessor caches")
+	}
+}
+
+func TestReportClone(t *testing.T) {
+	r := sampleReport()
+	c := r.Clone()
+	if c.Dims != r.Dims || c.TotalElements != r.TotalElements || c.ThresholdPct != r.ThresholdPct {
+		t.Fatalf("clone header differs: %+v vs %+v", c, r)
+	}
+	if len(c.Mismatches) != len(r.Mismatches) {
+		t.Fatalf("clone mismatch count %d != %d", len(c.Mismatches), len(r.Mismatches))
+	}
+	// Deep copy: resetting the original must not disturb the clone.
+	r.Reset()
+	if len(c.Mismatches) != 3 || c.Mismatches[0].Read != 5 {
+		t.Fatal("clone shares storage with the recycled original")
+	}
+}
+
+func TestReportPoolRecyclesAndDegrades(t *testing.T) {
+	var p ReportPool
+	r := p.Get(grid.Dims{X: 2, Y: 2, Z: 1}, 4)
+	if r.Dims.X != 2 || r.TotalElements != 4 || r.Count() != 0 {
+		t.Fatalf("pooled Get shape wrong: %+v", r)
+	}
+	r.Mismatches = append(r.Mismatches, Mismatch{Read: 1})
+	p.Put(r)
+	r2 := p.Get(grid.Dims{X: 8, Y: 1, Z: 1}, 8)
+	if r2.Count() != 0 || r2.Dims.X != 8 {
+		t.Fatalf("recycled report not reset: %+v", r2)
+	}
+	// Nil pool and nil report degrade to plain behaviour, no panics.
+	var nilPool *ReportPool
+	r3 := nilPool.Get(grid.Dims{X: 1, Y: 1, Z: 1}, 1)
+	if r3 == nil || r3.TotalElements != 1 {
+		t.Fatal("nil pool Get did not allocate")
+	}
+	nilPool.Put(r3)
+	p.Put(nil)
+}
+
+func TestCoordsAndRelErrsCached(t *testing.T) {
+	r := sampleReport()
+	c1, c2 := r.Coords(), r.Coords()
+	if &c1[0] != &c2[0] {
+		t.Error("Coords rebuilt despite unchanged mismatches")
+	}
+	e1, e2 := r.RelErrsPct(), r.RelErrsPct()
+	if &e1[0] != &e2[0] {
+		t.Error("RelErrsPct rebuilt despite unchanged mismatches")
+	}
+	for i := 1; i < len(e1); i++ {
+		if e1[i-1] > e1[i] {
+			t.Fatalf("RelErrsPct not sorted: %v", e1)
+		}
+	}
+	// Appending a mismatch must invalidate both caches.
+	r.Mismatches = append(r.Mismatches, Mismatch{Coord: grid.Coord{X: 2, Y: 2}, RelErrPct: 9})
+	if len(r.Coords()) != 4 || len(r.RelErrsPct()) != 4 {
+		t.Fatal("caches served stale lengths after append")
+	}
+	if got := r.Coords()[3]; got != (grid.Coord{X: 2, Y: 2}) {
+		t.Fatalf("rebuilt coords wrong: %+v", got)
+	}
+}

@@ -76,7 +76,9 @@ type (
 	Scale = campaign.Scale
 
 	// Sink consumes strike outcomes in index order during a streaming
-	// campaign (DESIGN.md §6).
+	// campaign (DESIGN.md §6). Outcome reports are only valid during the
+	// Consume call — the engine recycles them afterwards (DESIGN.md §8);
+	// Clone a report to retain it.
 	Sink = campaign.Sink
 	// StreamInfo is the cell metadata a streaming campaign yields in
 	// place of a retained Result.
