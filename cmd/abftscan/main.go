@@ -26,7 +26,9 @@ func main() {
 	shared := cli.CampaignFlags{Device: "k40", Strikes: 400, Seed: 11, Scale: "test"}
 	shared.Bind(flag.CommandLine, false)
 	size := flag.Int("size", 256, "matrix side")
+	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
 	shared.Kernel = fmt.Sprintf("dgemm:%d", *size)
 
 	plan, err := shared.ResolvePlan()

@@ -27,12 +27,30 @@ func main() {
 	shared.Bind(flag.CommandLine, true)
 	var prof cli.ProfileFlags
 	prof.Bind(flag.CommandLine)
+	var submit cli.SubmitFlags
+	submit.Bind(flag.CommandLine)
 	out := flag.String("o", "", "log output path for single-cell runs (default stdout)")
+	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
 
 	plan, err := shared.ResolvePlan()
 	if err != nil {
 		cli.Fatal("beamsim", "%v", err)
+	}
+	if submit.Active() {
+		// Client mode: the campaign runs on a radcritd daemon (sharing
+		// its result store with every other client) and only the
+		// summaries come back — there is no local log to write.
+		if *out != "" {
+			cli.Fatal("beamsim", "-o is not available with -submit (the daemon keeps no per-strike log)")
+		}
+		res, err := submit.Run(context.Background(), plan)
+		if err != nil {
+			cli.Fatal("beamsim", "%v", err)
+		}
+		cli.PrintJobSummaries(os.Stderr, res)
+		return
 	}
 	if err := prof.Start(); err != nil {
 		cli.Fatal("beamsim", "start profiling: %v", err)

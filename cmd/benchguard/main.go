@@ -3,9 +3,9 @@
 // benchmark's allocs/op against the baselines recorded in
 // BENCH_campaign.json (strike_hot_path.benchmarks.<name>.allocs_op), and
 // exits non-zero when any benchmark regresses past -max-factor times its
-// baseline or a baselined benchmark is missing from the run. It has no
-// dependencies beyond the standard library, so the CI job stays a plain
-// `go run ./cmd/benchguard`.
+// baseline or a baselined benchmark is missing from the run. Beyond the
+// standard library it depends only on the shared cli version helper, so
+// the CI job stays a plain `go run ./cmd/benchguard`.
 //
 //	go test -bench='BenchmarkStrike|BenchmarkInjected' -benchmem -run='^$' . |
 //	    go run ./cmd/benchguard -baseline BENCH_campaign.json -max-factor 2
@@ -20,6 +20,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"radcrit/internal/cli"
 )
 
 // baselineFile mirrors the slice of BENCH_campaign.json the guard reads.
@@ -34,7 +36,9 @@ type baselineFile struct {
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_campaign.json", "JSON `file` holding strike_hot_path.benchmarks baselines")
 	maxFactor := flag.Float64("max-factor", 2, "fail when allocs/op exceeds factor x baseline")
+	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {

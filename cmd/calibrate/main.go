@@ -25,7 +25,9 @@ import (
 func main() {
 	names := flag.String("devices", strings.Join(registry.DeviceNames(), ","),
 		"comma-separated registered device names to calibrate")
+	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
 
 	var devs []arch.Device
 	for _, name := range strings.Split(*names, ",") {

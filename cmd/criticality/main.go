@@ -22,7 +22,9 @@ func main() {
 	threshold := flag.Float64("threshold", radcrit.DefaultThresholdPct,
 		"relative-error tolerance in percent (0 keeps every mismatch)")
 	cap := flag.Float64("cap", 0, "per-element relative-error display cap in percent (0 = none)")
+	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "criticality: no log files given")

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,7 +47,29 @@ func main() {
 	planPath := flag.String("plan", "", "JSON plan `file` supplying seed/strikes/workers/facility")
 	var prof cli.ProfileFlags
 	prof.Bind(flag.CommandLine)
+	var submit cli.SubmitFlags
+	submit.Bind(flag.CommandLine)
+	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
+	if submit.Active() {
+		// Client mode: run the -plan campaign on a radcritd daemon and
+		// print its per-cell summaries. Artifact rendering needs retained
+		// local results, so it stays an in-process concern.
+		if *planPath == "" {
+			cli.Fatal("figures", "-submit needs -plan (the daemon runs plan documents, not artifact sets)")
+		}
+		plan, err := cli.LoadPlanFile(*planPath)
+		if err != nil {
+			cli.Fatal("figures", "%v", err)
+		}
+		res, err := submit.Run(context.Background(), plan)
+		if err != nil {
+			cli.Fatal("figures", "%v", err)
+		}
+		cli.PrintJobSummaries(os.Stdout, res)
+		return
+	}
 	if err := prof.Start(); err != nil {
 		cli.Fatal("figures", "start profiling: %v", err)
 	}

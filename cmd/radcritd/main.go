@@ -1,0 +1,116 @@
+// Command radcritd is the campaign daemon: a long-lived service that
+// accepts declarative campaign Plans over HTTP, schedules them on a
+// priority/FIFO queue, streams them through the campaign engine with
+// live progress, deduplicates identical cells through a persistent
+// content-addressed result store, and survives restarts — in-flight
+// cells checkpoint continuously and are resumed from the last #CHK
+// record with bit-identical final summaries.
+//
+//	radcritd -addr 127.0.0.1:8447 -state ./radcritd-state
+//
+// Submit the same JSON plans the CLI tools take:
+//
+//	curl -X POST --data-binary @plan.json http://127.0.0.1:8447/v1/jobs
+//	curl http://127.0.0.1:8447/v1/jobs/<id>          # status
+//	curl http://127.0.0.1:8447/v1/jobs/<id>/result   # summaries
+//	curl http://127.0.0.1:8447/v1/jobs/<id>/events   # SSE progress
+//
+// SIGINT/SIGTERM drain gracefully: running jobs stop at their next chunk
+// boundary with their checkpoint logs flushed, and a restarted daemon on
+// the same -state directory resumes them.
+//
+// -oneshot runs a plan in-process through the same engine and prints the
+// result in the API's JSON shape — the comparison form CI uses to assert
+// that daemon results equal direct StreamRunner runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"radcrit/internal/api"
+	"radcrit/internal/campaign"
+	"radcrit/internal/cli"
+	"radcrit/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8447", "listen address")
+	state := flag.String("state", "radcritd-state", "state `dir`: job records, checkpoint logs, result store")
+	executors := flag.Int("executors", 2, "jobs executed concurrently")
+	storeCapMB := flag.Int64("store-cap-mb", 0, "result-store size cap in MiB before LRU eviction (0 = uncapped)")
+	maxJobs := flag.Int("max-jobs", 0, "job records retained before the oldest finished jobs are pruned (0 = default 1024)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight chunks to checkpoint")
+	oneshot := flag.String("oneshot", "", "run the plan `file` in-process and print the result JSON (no daemon)")
+	showVersion := cli.VersionFlag(flag.CommandLine)
+	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
+
+	if *oneshot != "" {
+		runOneshot(*oneshot)
+		return
+	}
+
+	logger := log.New(os.Stderr, "radcritd: ", log.LstdFlags)
+	m, err := service.New(service.Options{
+		StateDir:  *state,
+		Executors: *executors,
+		StoreCap:  *storeCapMB << 20,
+		MaxJobs:   *maxJobs,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	m.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: api.New(m, cli.Version())}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("%s", cli.Version())
+	logger.Printf("serving on http://%s (state: %s, executors: %d)", *addr, *state, *executors)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (in-flight jobs checkpoint and re-queue; "+
+			"restart on the same -state to resume)", sig)
+	case err := <-errc:
+		logger.Printf("server: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if err := m.Drain(ctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained cleanly")
+}
+
+// runOneshot executes a plan in-process through StreamRunner and prints
+// the result in the daemon's wire shape.
+func runOneshot(path string) {
+	plan, err := cli.LoadPlanFile(path)
+	if err != nil {
+		cli.Fatal("radcritd", "%v", err)
+	}
+	res, err := (&campaign.StreamRunner{}).Run(context.Background(), plan)
+	if err != nil {
+		cli.Fatal("radcritd", "%v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(service.ResultFromPlan("oneshot", res)); err != nil {
+		cli.Fatal("radcritd", "%v", err)
+	}
+	fmt.Fprintln(os.Stderr, "radcritd: oneshot plan completed")
+}

@@ -1,0 +1,224 @@
+// Package api is radcritd's HTTP surface: a stdlib net/http JSON API over
+// the campaign service. Plans — the exact JSON documents the CLI tools
+// load with -plan — are submitted as request bodies, strict-decoded and
+// validated before they touch the queue, and results come back as the
+// service's wire types, whose summary floats survive the JSON round trip
+// bit-exactly.
+//
+//	POST   /v1/jobs             submit a Plan (body), ?priority=N
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        status + per-cell progress
+//	GET    /v1/jobs/{id}/result per-cell summaries of a finished job
+//	GET    /v1/jobs/{id}/events live progress (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/registry         registered devices and kernels
+//	GET    /v1/version          build information
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/registry"
+	"radcrit/internal/service"
+)
+
+// maxPlanBytes bounds a submitted plan document. Plans are small — a
+// thousand-cell matrix is a few tens of KiB — so 1 MiB is generous.
+const maxPlanBytes = 1 << 20
+
+// Server routes the v1 API onto a service.Manager.
+type Server struct {
+	m       *service.Manager
+	version string
+	mux     *http.ServeMux
+}
+
+// New builds the API handler. version is the daemon's build string
+// (cli.Version()), surfaced at GET /v1/version.
+func New(m *service.Manager, version string) *Server {
+	s := &Server{m: m, version: version, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/registry", s.registry)
+	s.mux.HandleFunc("GET /v1/version", s.versionInfo)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is every error response's body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// VersionInfo is GET /v1/version's body.
+type VersionInfo struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+}
+
+// RegistryInfo is GET /v1/registry's body: everything a client needs to
+// write a valid plan cell.
+type RegistryInfo struct {
+	Devices []registry.Info `json:"devices"`
+	Kernels []registry.Info `json:"kernels"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	priority := 0
+	if p := r.URL.Query().Get("priority"); p != "" {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad priority %q", p)
+			return
+		}
+		priority = v
+	}
+	// LoadPlan strict-decodes (unknown fields are errors) and validates
+	// every cell against the registry before the plan reaches the queue.
+	plan, err := campaign.LoadPlan(http.MaxBytesReader(w, r.Body, maxPlanBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, err := s.m.Submit(plan, priority)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == service.ErrDraining {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snap)
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Jobs())
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.m.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.m.Result(id)
+	switch {
+	case err == service.ErrUnknownJob:
+		writeErr(w, http.StatusNotFound, "%v", err)
+	case err == service.ErrNotFinished:
+		// 202: the request is fine, the answer is still being computed.
+		// The body carries the live snapshot so a poller needs no second
+		// request.
+		snap, _ := s.m.Job(id)
+		writeJSON(w, http.StatusAccepted, snap)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// events streams a job's progress as Server-Sent Events: an initial
+// "status" event with the full snapshot, then "state"/"cell"/"chunk"
+// events as they happen. The stream ends when the job reaches a terminal
+// state or the client disconnects.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Subscribe before reading the snapshot: the other order has a gap
+	// in which the job's terminal state event can be published to nobody,
+	// leaving this stream waiting forever on a job that already finished.
+	ch, unsub, err := s.m.Subscribe(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer unsub()
+	snap, err := s.m.Job(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	sse := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	sse("status", snap)
+	if snap.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			sse(ev.Type, ev)
+			if ev.Type == "state" && ev.State.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) registry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, RegistryInfo{
+		Devices: registry.Devices(),
+		Kernels: registry.Kernels(),
+	})
+}
+
+func (s *Server) versionInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, VersionInfo{Version: s.version, Go: runtime.Version()})
+}

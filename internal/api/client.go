@@ -1,0 +1,193 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/service"
+)
+
+// Client is the Go face of the v1 API — what beamsim/figures -submit and
+// the CI smoke use to run campaigns against a daemon instead of
+// in-process.
+type Client struct {
+	// Base is the daemon address ("http://127.0.0.1:8447"); a bare
+	// host:port is promoted to http.
+	Base string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// NewClient normalises addr into a Client.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out, turning
+// non-2xx statuses into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+	if err != nil {
+		return 0, fmt.Errorf("api: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("api: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("api: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return resp.StatusCode, fmt.Errorf("api: %s: %s", resp.Status, ae.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("api: %s", resp.Status)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("api: decode %s: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit posts a plan at the given priority and returns the new job.
+func (c *Client) Submit(ctx context.Context, p *campaign.Plan, priority int) (service.Snapshot, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return service.Snapshot{}, fmt.Errorf("api: %w", err)
+	}
+	path := "/v1/jobs"
+	if priority != 0 {
+		path += "?priority=" + url.QueryEscape(strconv.Itoa(priority))
+	}
+	var snap service.Snapshot
+	_, err = c.do(ctx, http.MethodPost, path, bytes.NewReader(data), &snap)
+	return snap, err
+}
+
+// Status fetches a job's snapshot.
+func (c *Client) Status(ctx context.Context, id string) (service.Snapshot, error) {
+	var snap service.Snapshot
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
+	return snap, err
+}
+
+// Result fetches a finished job's summaries. While the job is still
+// queued or running it returns service.ErrNotFinished.
+func (c *Client) Result(ctx context.Context, id string) (*service.JobResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("api: %w", err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		return nil, service.ErrNotFinished
+	case resp.StatusCode >= 400:
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return nil, fmt.Errorf("api: %s: %s", resp.Status, ae.Error)
+		}
+		return nil, fmt.Errorf("api: %s", resp.Status)
+	}
+	var jr service.JobResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return nil, fmt.Errorf("api: decode result: %w", err)
+	}
+	return &jr, nil
+}
+
+// Cancel asks the daemon to stop a job.
+func (c *Client) Cancel(ctx context.Context, id string) (service.Snapshot, error) {
+	var snap service.Snapshot
+	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
+	return snap, err
+}
+
+// Registry fetches the daemon's registered devices and kernels.
+func (c *Client) Registry(ctx context.Context) (RegistryInfo, error) {
+	var ri RegistryInfo
+	_, err := c.do(ctx, http.MethodGet, "/v1/registry", nil, &ri)
+	return ri, err
+}
+
+// Version fetches the daemon's build information.
+func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
+	var vi VersionInfo
+	_, err := c.do(ctx, http.MethodGet, "/v1/version", nil, &vi)
+	return vi, err
+}
+
+// Wait polls a job until it reaches a terminal state, reporting progress
+// through onProgress (which may be nil) after every poll.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onProgress func(service.Snapshot)) (service.Snapshot, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		snap, err := c.Status(ctx, id)
+		if err != nil {
+			return snap, err
+		}
+		if onProgress != nil {
+			onProgress(snap)
+		}
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		select {
+		case <-ctx.Done():
+			return snap, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Run is the whole client workflow: submit, wait, fetch the result.
+func (c *Client) Run(ctx context.Context, p *campaign.Plan, priority int, poll time.Duration, onProgress func(service.Snapshot)) (*service.JobResult, error) {
+	snap, err := c.Submit(ctx, p, priority)
+	if err != nil {
+		return nil, err
+	}
+	if snap, err = c.Wait(ctx, snap.ID, poll, onProgress); err != nil {
+		return nil, err
+	}
+	return c.Result(ctx, snap.ID)
+}

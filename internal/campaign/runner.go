@@ -347,32 +347,26 @@ func (r *StreamRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
 			markCancelled(res.Cells[i:], cerr)
 			return res, cerr
 		}
-		red := newStreamReducers(res.Thresholds)
-		sinks := red.sinks()
+		var extra []Sink
 		if r.Progress.OnChunk != nil {
-			sinks = append(sinks, &chunkRelay{cell: i, fn: r.Progress.OnChunk})
+			extra = append(extra, &chunkRelay{cell: i, fn: r.Progress.OnChunk})
 		}
-		info, err := RunStreamingCtx(ctx, cell.Dev, cell.Kern, cfg, sinks...)
-		out.Info = info
+		// RunPlanCell handles the cancellation bookkeeping: a cancelled
+		// cell comes back with its info rescaled to the strikes actually
+		// consumed and the partial summary over that prefix — against the
+		// full planned exposure the FIT rates would be biased low by the
+		// cancelled fraction.
+		info, sum, err := RunPlanCell(ctx, cell, cfg, res.Thresholds, extra...)
+		out.Info, out.Summary = info, sum
 		if err != nil {
 			out.Err = err
 			if isCancellation(err) {
-				// The reducers hold a meaningful chunk-aligned prefix:
-				// surface it as the cell's partial summary, under the
-				// exposure of the strikes actually consumed — against the
-				// full planned exposure the FIT rates would be biased low
-				// by the cancelled fraction. Info is rescaled the same
-				// way so Tally-over-Info arithmetic stays unbiased too.
-				out.Info = prefixInfo(info, red.consumed())
-				out.Summary = red.summary(res.Thresholds, out.Info)
 				if r.Progress.OnCell != nil {
 					r.Progress.OnCell(i, out)
 				}
 				markCancelled(res.Cells[i+1:], err)
 				return res, ctx.Err()
 			}
-		} else {
-			out.Summary = red.summary(res.Thresholds, info)
 		}
 		if r.Progress.OnCell != nil {
 			r.Progress.OnCell(i, out)

@@ -1,0 +1,208 @@
+package campaign
+
+// This file is the serving-layer surface: the per-cell execution
+// primitives a long-lived campaign service composes — summary
+// accumulation as a Sink, one-cell execution with attachable sinks, and
+// checkpointed resume. StreamRunner and RecoverLog are thin arrangements
+// of the same primitives, so a daemon that interleaves caching and
+// checkpointing still runs the exact engine path the in-process runners
+// are pinned against.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"radcrit/internal/arch"
+	"radcrit/internal/fault"
+	"radcrit/internal/grid"
+	"radcrit/internal/injector"
+	"radcrit/internal/kernels"
+	"radcrit/internal/logdata"
+	"radcrit/internal/metrics"
+)
+
+// SummaryAccumulator folds a streaming outcome sequence into a Summary —
+// the reducer stack StreamRunner attaches per cell, exported as a Sink so
+// serving layers can combine it with their own sinks (checkpoint logs,
+// progress relays) on one engine pass. It additionally replays salvaged
+// checkpoint-log events, which is what makes a resumed cell's summary
+// bit-identical to an uninterrupted run: the prefix comes from the log's
+// exact hex-float record, the tail from the deterministic per-index RNG
+// splits.
+//
+// Not safe for concurrent use; the engine's in-order consume loop is a
+// single goroutine (Sink contract).
+type SummaryAccumulator struct {
+	ts    []float64
+	red   *streamReducers
+	sinks []Sink
+}
+
+// NewSummaryAccumulator returns an empty accumulator summarising under
+// the given thresholds (a plan's EffectiveThresholds).
+func NewSummaryAccumulator(thresholds []float64) *SummaryAccumulator {
+	ts := append([]float64(nil), thresholds...)
+	red := newStreamReducers(ts)
+	return &SummaryAccumulator{ts: ts, red: red, sinks: red.sinks()}
+}
+
+// Consume implements Sink.
+func (a *SummaryAccumulator) Consume(i int, out injector.Outcome) {
+	for _, s := range a.sinks {
+		s.Consume(i, out)
+	}
+}
+
+// AddMasked records n masked executions without per-strike payloads — the
+// form a checkpoint log carries them in (they are a count in the #CHK
+// record, not events). Replay-only; the live path counts masked outcomes
+// through Consume.
+func (a *SummaryAccumulator) AddMasked(n int) {
+	a.red.tally.Tally.Masked += n
+}
+
+// ReplayEvent feeds one salvaged checkpoint-log event into the reducers,
+// reconstructing the outcome exactly as logdata.Log.Reports does: the
+// logged hex floats round-trip bit-exactly and RelErrPct is recomputed
+// with the same function the live comparator uses, so every summary
+// statistic derived from a replayed prefix matches the live run bit for
+// bit. dims is the cell's output shape (the log header's dims). The
+// injection scope is not reconstructed — no reducer reads it.
+func (a *SummaryAccumulator) ReplayEvent(ev logdata.Event, dims grid.Dims) {
+	out := injector.Outcome{Class: ev.Class}
+	if r, ok := fault.ResourceFromString(ev.Resource); ok {
+		out.Resource = r
+	}
+	if ev.Class == fault.SDC {
+		out.Report = &metrics.Report{
+			Dims:          dims,
+			TotalElements: dims.Len(),
+			Mismatches:    ev.Mismatches,
+		}
+	}
+	a.Consume(ev.Exec, out)
+}
+
+// Consumed returns the number of strikes folded in so far (replayed and
+// live), the prefix length a cancelled cell's summary covers.
+func (a *SummaryAccumulator) Consumed() int { return a.red.consumed() }
+
+// Summary renders the accumulated state under the cell's exposure. Valid
+// on partial (cancelled) state too, under a prefix-rescaled info.
+func (a *SummaryAccumulator) Summary(info StreamInfo) *Summary {
+	return a.red.summary(a.ts, info)
+}
+
+// RunPlanCell executes one resolved plan cell through the streaming
+// engine and returns its StreamInfo and Summary — StreamRunner's per-cell
+// body, exported for serving layers. The extra sinks observe the same
+// in-order outcome stream after the accumulator (so a CheckpointSink's
+// chunk flush always covers what the summary has consumed).
+//
+// On cancellation the returned info is rescaled to the chunk-aligned
+// prefix actually consumed and the partial summary over that prefix is
+// returned alongside ctx.Err(); on any other error the summary is nil.
+func RunPlanCell(ctx context.Context, cell Cell, cfg Config, thresholds []float64, extra ...Sink) (StreamInfo, *Summary, error) {
+	acc := NewSummaryAccumulator(thresholds)
+	sinks := make([]Sink, 0, len(extra)+1)
+	sinks = append(sinks, acc)
+	sinks = append(sinks, extra...)
+	info, err := RunStreamingCtx(ctx, cell.Dev, cell.Kern, cfg, sinks...)
+	if err != nil {
+		if isCancellation(err) {
+			info = prefixInfo(info, acc.Consumed())
+			return info, acc.Summary(info), err
+		}
+		return info, nil, err
+	}
+	return info, acc.Summary(info), nil
+}
+
+// ResumePlanCell completes a cell whose previous execution was
+// interrupted after writing the (possibly truncated) checkpoint log in
+// truncated: the salvaged prefix — everything up to the last complete
+// #CHK record — is replayed into the summary and into a fresh checkpoint
+// log at w, and only the uncovered tail re-runs. The final summary is
+// bit-identical to an uninterrupted run's (per-index RNG splits reproduce
+// the tail; hex-float logging reproduces the prefix), and the log written
+// to w is event-for-event what an uninterrupted run would have written —
+// so a resume interrupted again stays resumable, indefinitely.
+//
+// The log must describe this cell and seed; a mismatch is an error rather
+// than a silently wrong summary. On cancellation mid-tail the returned
+// info/summary cover the consumed prefix (like RunPlanCell) and w holds a
+// resumable log without its #END trailer.
+func ResumePlanCell(ctx context.Context, truncated io.Reader, w io.Writer, cell Cell, cfg Config, thresholds []float64, extra ...Sink) (StreamInfo, *Summary, error) {
+	acc := NewSummaryAccumulator(thresholds)
+	info, err := resumeStreaming(ctx, w, truncated, cell.Dev, cell.Kern, cfg, acc, extra)
+	if err != nil {
+		if isCancellation(err) {
+			info = prefixInfo(info, acc.Consumed())
+			return info, acc.Summary(info), err
+		}
+		return info, nil, err
+	}
+	return info, acc.Summary(info), nil
+}
+
+// resumeStreaming is the shared core of RecoverLog and ResumePlanCell:
+// salvage the truncated log, validate it describes (dev, kern, cfg),
+// replay the prefix into a fresh checkpoint log at w (and into acc, when
+// summarising), then re-run the uncovered tail with acc, the extra sinks
+// and the new checkpoint log attached. The #END trailer is written only
+// on full completion, so an interrupted resume leaves w resumable.
+func resumeStreaming(ctx context.Context, w io.Writer, truncated io.Reader, dev arch.Device, kern kernels.Kernel, cfg Config, acc *SummaryAccumulator, extra []Sink) (StreamInfo, error) {
+	res, err := logdata.ParseResume(truncated)
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	info, err := CellInfo(dev, kern, cfg)
+	if err != nil {
+		return StreamInfo{}, err
+	}
+	if res.Log.Device != "" &&
+		(res.Log.Device != info.Device || res.Log.Kernel != info.Kernel || res.Log.Input != info.Input) {
+		return info, fmt.Errorf("campaign: log describes %s/%s/%s, not %s/%s/%s",
+			res.Log.Device, res.Log.Kernel, res.Log.Input, info.Device, info.Kernel, info.Input)
+	}
+	if res.Log.Device != "" && res.Log.Seed != cfg.Seed {
+		return info, fmt.Errorf("campaign: log was written under seed %d, not %d — the tail would not match",
+			res.Log.Seed, cfg.Seed)
+	}
+	sink, err := NewCheckpointSink(w, info, cfg.Seed)
+	if err != nil {
+		return info, err
+	}
+	sink.sw.AddMasked(res.Masked)
+	if acc != nil {
+		acc.AddMasked(res.Masked)
+	}
+	for _, ev := range res.Log.Events {
+		if err := sink.sw.WriteEvent(ev); err != nil {
+			return info, err
+		}
+		if acc != nil {
+			acc.ReplayEvent(ev, info.Profile.OutputDims)
+		}
+	}
+	if !res.Complete {
+		// Flush a checkpoint covering the replayed prefix before any tail
+		// strike runs: the new log is now durable to at least the point
+		// the old one reached, so an interruption during the tail — or
+		// even before its first chunk — can never lose salvaged progress.
+		if err := sink.sw.Checkpoint(res.Next); err != nil {
+			return info, err
+		}
+		sinks := make([]Sink, 0, len(extra)+2)
+		if acc != nil {
+			sinks = append(sinks, acc)
+		}
+		sinks = append(sinks, extra...)
+		sinks = append(sinks, sink)
+		if _, err := RunStreamingFromCtx(ctx, dev, kern, cfg, res.Next, sinks...); err != nil {
+			return info, err
+		}
+	}
+	return info, sink.Close()
+}

@@ -535,39 +535,9 @@ func (c *CheckpointSink) Close() error { return c.sw.Close() }
 // checkpoint), replays those events into w, re-runs only the strikes the
 // checkpoint does not cover, and closes the log. The recovered log is
 // event-for-event identical to one written by an uninterrupted run —
-// checkpoint/resume's determinism contract (DESIGN.md §6).
+// checkpoint/resume's determinism contract (DESIGN.md §6). It is
+// resumeStreaming (serve.go) without a summary: log in, log out.
 func RecoverLog(w io.Writer, truncated io.Reader, dev arch.Device, kern kernels.Kernel, cfg Config) error {
-	res, err := logdata.ParseResume(truncated)
-	if err != nil {
-		return err
-	}
-	info, err := CellInfo(dev, kern, cfg)
-	if err != nil {
-		return err
-	}
-	if res.Log.Device != "" &&
-		(res.Log.Device != info.Device || res.Log.Kernel != info.Kernel || res.Log.Input != info.Input) {
-		return fmt.Errorf("campaign: log describes %s/%s/%s, not %s/%s/%s",
-			res.Log.Device, res.Log.Kernel, res.Log.Input, info.Device, info.Kernel, info.Input)
-	}
-	if res.Log.Device != "" && res.Log.Seed != cfg.Seed {
-		return fmt.Errorf("campaign: log was written under seed %d, not %d — the tail would not match",
-			res.Log.Seed, cfg.Seed)
-	}
-	sink, err := NewCheckpointSink(w, info, cfg.Seed)
-	if err != nil {
-		return err
-	}
-	sink.sw.AddMasked(res.Masked)
-	for _, ev := range res.Log.Events {
-		if err := sink.sw.WriteEvent(ev); err != nil {
-			return err
-		}
-	}
-	if !res.Complete {
-		if _, err := RunStreamingFrom(dev, kern, cfg, res.Next, sink); err != nil {
-			return err
-		}
-	}
-	return sink.Close()
+	_, err := resumeStreaming(context.Background(), w, truncated, dev, kern, cfg, nil, nil)
+	return err
 }

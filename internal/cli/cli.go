@@ -8,6 +8,7 @@
 package cli
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,8 @@ func (c *CampaignFlags) ScaleValue() (campaign.Scale, error) {
 
 // ResolveDevice constructs the -device selection through the registry.
 func (c *CampaignFlags) ResolveDevice() (arch.Device, error) {
-	return registry.NewDevice(c.Device)
+	dev, err := registry.NewDevice(c.Device)
+	return dev, WithSuggestion(err)
 }
 
 // ResolveKernel constructs the -kernel selection through the registry,
@@ -77,7 +79,27 @@ func (c *CampaignFlags) ResolveKernel(dev arch.Device) (kernels.Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return registry.NewKernel(DefaultSpec(c.Kernel, s, dev))
+	k, err := registry.NewKernel(DefaultSpec(c.Kernel, s, dev))
+	return k, WithSuggestion(err)
+}
+
+// WithSuggestion augments a registry unknown-name error with the closest
+// registered name, so "-device k04" fails with "did you mean "k40"?"
+// instead of just a list. Other errors (and nil) pass through untouched.
+func WithSuggestion(err error) error {
+	var ud *registry.UnknownDeviceError
+	if errors.As(err, &ud) {
+		if s, ok := registry.Suggest(ud.Name, ud.Known); ok {
+			return fmt.Errorf("%w — did you mean %q?", err, s)
+		}
+	}
+	var uk *registry.UnknownKernelError
+	if errors.As(err, &uk) {
+		if s, ok := registry.Suggest(uk.Name, uk.Known); ok {
+			return fmt.Errorf("%w — did you mean %q?", err, s)
+		}
+	}
+	return err
 }
 
 // DefaultSpec completes a built-in kernel family name that carries no
@@ -139,7 +161,7 @@ func (c *CampaignFlags) ResolvePlan() (*campaign.Plan, error) {
 		WithWorkers(c.Workers).
 		WithCell(c.Device, DefaultSpec(c.Kernel, s, dev))
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, WithSuggestion(err)
 	}
 	return p, nil
 }

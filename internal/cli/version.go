@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version assembles a human-readable build string from the binary's
+// embedded build info: module version, toolchain, and the VCS revision
+// stamp when the binary was built from a checkout. Every cmd/ tool
+// surfaces it behind -version, and radcritd additionally serves it at
+// GET /v1/version, so "which build is this?" has one answer everywhere.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "radcrit devel " + runtime.Version()
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, modified, when string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			when = s.Value
+		}
+	}
+	out := "radcrit " + v + " " + runtime.Version()
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "+dirty"
+		}
+		out += " (" + rev
+		if when != "" {
+			out += " " + when
+		}
+		out += ")"
+	}
+	return out
+}
+
+// VersionFlag binds -version on fs. After flag parsing, pass the result
+// to ExitIfVersion.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build information and exit")
+}
+
+// ExitIfVersion prints the build string and exits 0 when show is set —
+// the two-line version handling shared by every cmd/ tool.
+func ExitIfVersion(show bool) {
+	if show {
+		fmt.Println(Version())
+		os.Exit(0)
+	}
+}

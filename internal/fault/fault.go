@@ -87,6 +87,20 @@ func Resources() []Resource {
 	return rs
 }
 
+// ResourceFromString inverts Resource.String: it parses a resource name
+// as written into campaign logs, so a replayed log event reconstructs the
+// struck structure. The second result is false for unknown names (logs
+// from a build with extra registered semantics, or the empty field of a
+// legacy record).
+func ResourceFromString(s string) (Resource, bool) {
+	for r := Resource(0); r < numResources; r++ {
+		if r.String() == s {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
 // OutcomeClass is the observable result of one irradiated execution
 // (paper §II-A): masked, silent data corruption, crash, or hang.
 type OutcomeClass int

@@ -20,10 +20,13 @@ import (
 // devices; "dgemm:N", "lavamd:G", "hotspot:SIDExITERS" and
 // "clamr:SIDExSTEPS" kernel families.
 func init() {
-	RegisterDevice("k40", func() (arch.Device, error) { return k40.New(), nil })
-	RegisterDevice("phi", func() (arch.Device, error) { return phi.New(), nil })
+	RegisterDeviceInfo("k40", "NVIDIA Tesla K40 (Kepler) device model",
+		func() (arch.Device, error) { return k40.New(), nil })
+	RegisterDeviceInfo("phi", "Intel Xeon Phi 3120A (Knights Corner) device model",
+		func() (arch.Device, error) { return phi.New(), nil })
 
 	RegisterKernel("dgemm", KernelEntry{
+		Help: "dense matrix multiply; params: matrix side N, e.g. dgemm:1024",
 		Validate: func(params string) error {
 			n, err := intParam(params, "matrix side")
 			if err != nil {
@@ -40,6 +43,7 @@ func init() {
 		},
 	})
 	RegisterKernel("lavamd", KernelEntry{
+		Help: "LavaMD particle dynamics; params: box-grid size G, e.g. lavamd:19",
 		Validate: func(params string) error {
 			g, err := intParam(params, "box-grid size")
 			if err != nil {
@@ -56,6 +60,7 @@ func init() {
 		},
 	})
 	RegisterKernel("hotspot", KernelEntry{
+		Help: "HotSpot thermal stencil; params: SIDExITERS, e.g. hotspot:1024x400",
 		Validate: func(params string) error {
 			side, iters, err := pairParam(params, "SIDExITERS")
 			if err != nil {
@@ -72,6 +77,7 @@ func init() {
 		},
 	})
 	RegisterKernel("clamr", KernelEntry{
+		Help: "CLAMR shallow-water AMR; params: SIDExSTEPS, e.g. clamr:512x600",
 		Validate: func(params string) error {
 			side, steps, err := pairParam(params, "SIDExSTEPS")
 			if err != nil {

@@ -1,0 +1,96 @@
+package registry_test
+
+import (
+	"testing"
+
+	"radcrit/internal/registry"
+)
+
+// TestEnumeration pins the discovery API: sorted names, help strings on
+// every built-in, and agreement with the name-only accessors.
+func TestEnumeration(t *testing.T) {
+	devs := registry.Devices()
+	if len(devs) < 2 {
+		t.Fatalf("Devices() = %v", devs)
+	}
+	names := registry.DeviceNames()
+	for i, d := range devs {
+		if d.Name != names[i] {
+			t.Errorf("Devices()[%d].Name = %q, DeviceNames()[%d] = %q", i, d.Name, i, names[i])
+		}
+		if i > 0 && devs[i-1].Name >= d.Name {
+			t.Errorf("Devices() not sorted: %q before %q", devs[i-1].Name, d.Name)
+		}
+	}
+	for _, want := range []string{"k40", "phi"} {
+		found := false
+		for _, d := range devs {
+			if d.Name == want {
+				found = true
+				if d.Help == "" {
+					t.Errorf("built-in device %q has no help", want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("built-in device %q missing from Devices()", want)
+		}
+	}
+
+	kerns := registry.Kernels()
+	kNames := registry.KernelNames()
+	if len(kerns) != len(kNames) {
+		t.Fatalf("Kernels() has %d entries, KernelNames() %d", len(kerns), len(kNames))
+	}
+	for i, k := range kerns {
+		if k.Name != kNames[i] {
+			t.Errorf("Kernels()[%d].Name = %q, want %q", i, k.Name, kNames[i])
+		}
+	}
+	for _, want := range []string{"dgemm", "lavamd", "hotspot", "clamr"} {
+		found := false
+		for _, k := range kerns {
+			if k.Name == want {
+				found = true
+				if k.Help == "" {
+					t.Errorf("built-in kernel %q has no params help", want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("built-in kernel %q missing from Kernels()", want)
+		}
+	}
+}
+
+// TestSuggest pins the did-you-mean heuristic: close typos (including
+// transpositions) resolve, distant garbage stays silent.
+func TestSuggest(t *testing.T) {
+	candidates := []string{"clamr", "dgemm", "hotspot", "lavamd"}
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"dgem", "dgemm", true},
+		{"ddgemm", "dgemm", true},
+		{"dgmem", "dgemm", true}, // transposition
+		{"hotspt", "hotspot", true},
+		{"lavamd", "lavamd", true},
+		{"clammr", "clamr", true},
+		{"zzz", "", false},
+		{"completely-unrelated", "", false},
+	}
+	for _, c := range cases {
+		got, ok := registry.Suggest(c.in, candidates)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Suggest(%q) = %q, %v; want %q, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := registry.Suggest("k04", []string{"k40", "phi"}); !ok {
+		t.Errorf("Suggest(k04) found nothing; want k40")
+	}
+	if _, ok := registry.Suggest("anything", nil); ok {
+		t.Errorf("Suggest with no candidates succeeded")
+	}
+}

@@ -39,6 +39,16 @@ type KernelEntry struct {
 	// NewKernel additionally converts any escaped panic into an error,
 	// but a well-behaved entry returns one directly.
 	Make func(params string) (kernels.Kernel, error)
+	// Help is a one-line description of the family and its params shape
+	// ("matrix side N, e.g. dgemm:1024") for discovery surfaces: CLI
+	// usage text and the service's registry endpoint.
+	Help string
+}
+
+// Info describes one registry entry for discovery surfaces.
+type Info struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
 }
 
 // UnknownDeviceError reports a device name with no registration.
@@ -88,9 +98,15 @@ func (e *ConstructionError) Error() string {
 
 func (e *ConstructionError) Unwrap() error { return e.Err }
 
+// deviceEntry pairs a device factory with its discovery help.
+type deviceEntry struct {
+	make DeviceFactory
+	help string
+}
+
 var (
 	mu      sync.RWMutex
-	devices = map[string]DeviceFactory{}
+	devices = map[string]deviceEntry{}
 	kernelz = map[string]KernelEntry{}
 )
 
@@ -102,12 +118,18 @@ var (
 // so results computed before the shadowing would be served afterwards.
 // Register at init time, as the built-ins do.
 func RegisterDevice(name string, f DeviceFactory) {
+	RegisterDeviceInfo(name, "", f)
+}
+
+// RegisterDeviceInfo is RegisterDevice with a one-line help string for
+// discovery surfaces (CLI usage, the service's registry endpoint).
+func RegisterDeviceInfo(name, help string, f DeviceFactory) {
 	if name == "" || f == nil {
 		panic("registry: RegisterDevice with empty name or nil factory")
 	}
 	mu.Lock()
 	defer mu.Unlock()
-	devices[name] = f
+	devices[name] = deviceEntry{make: f, help: help}
 }
 
 // RegisterKernel registers a kernel family under name. Registering an
@@ -152,15 +174,91 @@ func KernelNames() []string {
 	return names
 }
 
+// Devices enumerates the registered devices, sorted by name — the
+// discovery API behind GET /v1/registry and the CLI's flag help.
+func Devices() []Info {
+	mu.RLock()
+	defer mu.RUnlock()
+	infos := make([]Info, 0, len(devices))
+	for n, e := range devices {
+		infos = append(infos, Info{Name: n, Help: e.help})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Kernels enumerates the registered kernel families with their params
+// help, sorted by name.
+func Kernels() []Info {
+	mu.RLock()
+	defer mu.RUnlock()
+	infos := make([]Info, 0, len(kernelz))
+	for n, e := range kernelz {
+		infos = append(infos, Info{Name: n, Help: e.Help})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Suggest returns the candidate closest to name by edit distance when it
+// is close enough to plausibly be a typo ("ddgemm" → "dgemm"), for
+// did-you-mean error messages. The second result is false when nothing
+// is convincingly close.
+func Suggest(name string, candidates []string) (string, bool) {
+	best, bestDist := "", -1
+	for _, c := range candidates {
+		d := editDistance(name, c)
+		if bestDist < 0 || d < bestDist || (d == bestDist && c < best) {
+			best, bestDist = c, d
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	// A suggestion further away than half the typed name is noise.
+	limit := max(1, len(name)/2)
+	if bestDist > limit {
+		return "", false
+	}
+	return best, true
+}
+
+// editDistance is the optimal-string-alignment distance over bytes:
+// Levenshtein plus adjacent transpositions as a single edit, so the
+// classic "k04" for "k40" typo counts as one step.
+func editDistance(a, b string) int {
+	prev2 := make([]int, len(b)+1)
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				cur[j] = min(cur[j], prev2[j-2]+1)
+			}
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[len(b)]
+}
+
 // NewDevice constructs the device registered under name.
 func NewDevice(name string) (arch.Device, error) {
 	mu.RLock()
-	f, ok := devices[name]
+	e, ok := devices[name]
 	mu.RUnlock()
 	if !ok {
 		return nil, &UnknownDeviceError{Name: name, Known: DeviceNames()}
 	}
-	return f()
+	return e.make()
 }
 
 // SplitSpec splits a kernel spec "name" or "name:params" into its parts.

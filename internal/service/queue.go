@@ -1,0 +1,38 @@
+package service
+
+// jobQueue is the scheduler's priority/FIFO queue: higher Priority pops
+// first, equal priorities pop in submission order (Seq). It implements
+// container/heap over *Job, tracking each job's heap index so a cancelled
+// queued job can be removed in O(log n).
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority > q[j].Priority
+	}
+	return q[i].Seq < q[j].Seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIndex = i
+	q[j].heapIndex = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.heapIndex = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*q = old[:n-1]
+	return j
+}

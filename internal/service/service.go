@@ -1,0 +1,1020 @@
+// Package service turns the campaign engine into a long-lived,
+// multi-tenant job service: clients submit declarative Plans (PR 3), a
+// priority/FIFO queue feeds a bounded executor pool, every cell streams
+// through the engine with live progress, and the whole thing survives
+// restarts — in-flight cells checkpoint continuously (campaign
+// CheckpointSink) and a restarted manager resumes them from the last #CHK
+// record with bit-identical final summaries (campaign.ResumePlanCell).
+//
+// Completed cell summaries are filed in a persistent content-addressed
+// store under campaign.CellKey, so identical cells across jobs, clients
+// and process lifetimes are served from disk instead of re-executed —
+// the across-restart extension of the engine's in-process single-flight
+// memo.
+//
+// The state directory layout is plain files:
+//
+//	state/
+//	  store/ab/abcd...        content-addressed cell summaries (LRU GC)
+//	  jobs/<id>/job.json      job record: plan, priority, state
+//	  jobs/<id>/cell-3.log    checkpoint log of an in-flight cell
+//	  jobs/<id>/cell-3.json   durable outcome of a completed cell
+//	  jobs/<id>/result.json   final per-cell summaries of a finished job
+package service
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/injector"
+	"radcrit/internal/store"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	// StateQueued covers both never-started jobs and jobs interrupted by
+	// a daemon drain/crash: their checkpoint logs are on disk and the
+	// next executor to pick them up resumes rather than restarts.
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final — the one lifecycle
+// predicate, shared with the API layer (SSE stream end, client Wait).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// terminal is the package-internal spelling of State.Terminal.
+func terminal(s State) bool { return s.Terminal() }
+
+// CellStatus is one plan cell's live progress.
+type CellStatus struct {
+	// State is "pending", "running", "done" or "failed".
+	State string `json:"state"`
+	// Strikes is the number of strikes consumed so far (chunk-aligned).
+	Strikes int `json:"strikes"`
+	// Total is the cell's strike budget.
+	Total int `json:"total"`
+	// Cached marks a cell served from the content-addressed store.
+	Cached bool `json:"cached,omitempty"`
+	// Resumed marks a cell recovered from a checkpoint log.
+	Resumed bool `json:"resumed,omitempty"`
+	// Error is the cell's failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// Snapshot is a job's wire-facing status.
+type Snapshot struct {
+	ID           string       `json:"id"`
+	State        State        `json:"state"`
+	Priority     int          `json:"priority"`
+	Name         string       `json:"name,omitempty"`
+	Cells        []CellStatus `json:"cells"`
+	StrikesDone  int          `json:"strikes_done"`
+	StrikesTotal int          `json:"strikes_total"`
+	Error        string       `json:"error,omitempty"`
+	Created      time.Time    `json:"created"`
+	Started      *time.Time   `json:"started,omitempty"`
+	Finished     *time.Time   `json:"finished,omitempty"`
+}
+
+// CellResult is one cell's completed outcome on the wire (and in the
+// job's result.json / the store's entries). Summary floats survive the
+// JSON round trip bit-exactly: encoding/json emits the shortest decimal
+// that re-parses to the same float64.
+type CellResult struct {
+	Spec campaign.CellSpec `json:"spec"`
+	// Key is the cell's content address (campaign.CellKey).
+	Key string `json:"key,omitempty"`
+	// Cached marks a summary served from the store instead of executed.
+	Cached bool `json:"cached,omitempty"`
+	// Resumed marks a summary completed from a checkpoint log after a
+	// daemon restart.
+	Resumed bool                 `json:"resumed,omitempty"`
+	Error   string               `json:"error,omitempty"`
+	Info    *campaign.StreamInfo `json:"info,omitempty"`
+	Summary *campaign.Summary    `json:"summary,omitempty"`
+}
+
+// JobResult is a finished job's record: one CellResult per completed
+// cell, in plan order (a cancelled or failed job may hold fewer entries
+// than the plan has cells).
+type JobResult struct {
+	ID         string       `json:"id"`
+	State      State        `json:"state"`
+	Name       string       `json:"name,omitempty"`
+	Thresholds []float64    `json:"thresholds"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// ResultFromPlan renders an in-process PlanResult in the service's wire
+// shape — the comparison form for "daemon result equals direct
+// StreamRunner run" checks (CI's service smoke, the API's e2e suite).
+func ResultFromPlan(id string, res *campaign.PlanResult) *JobResult {
+	jr := &JobResult{
+		ID:         id,
+		State:      StateDone,
+		Name:       res.Plan.Name,
+		Thresholds: append([]float64(nil), res.Thresholds...),
+	}
+	for i, out := range res.Cells {
+		cr := CellResult{Spec: out.Spec, Key: res.Plan.CellKey(i)}
+		if out.Err != nil {
+			cr.Error = out.Err.Error()
+			jr.State = StateFailed
+		}
+		if out.Summary != nil {
+			info := out.Info
+			cr.Info = &info
+			cr.Summary = out.Summary
+		}
+		jr.Cells = append(jr.Cells, cr)
+	}
+	return jr
+}
+
+// StoreRecord is the content-addressed store's entry payload.
+type StoreRecord struct {
+	Key     string               `json:"key"`
+	Spec    campaign.CellSpec    `json:"spec"`
+	Info    *campaign.StreamInfo `json:"info"`
+	Summary *campaign.Summary    `json:"summary"`
+}
+
+// Event is one progress notification on a job's event stream.
+type Event struct {
+	// Type is "state" (job state change), "cell" (cell finished) or
+	// "chunk" (strike progress within a cell).
+	Type   string `json:"type"`
+	JobID  string `json:"job"`
+	State  State  `json:"state,omitempty"`
+	Cell   int    `json:"cell"`
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// Job is the manager's record of one submitted plan. All mutable fields
+// are guarded by the manager's mutex; handlers only ever see copies
+// (Snapshot, JobResult).
+type Job struct {
+	ID       string
+	Seq      uint64
+	Priority int
+	Plan     *campaign.Plan
+
+	State    State
+	Error    string
+	Created  time.Time
+	Started  *time.Time
+	Finished *time.Time
+
+	cells      []CellStatus
+	outcomes   []CellResult
+	result     *JobResult
+	cancel     context.CancelFunc // non-nil while running
+	userCancel bool
+	heapIndex  int
+}
+
+// jobRecord is job.json: what survives a restart.
+type jobRecord struct {
+	ID       string         `json:"id"`
+	Seq      uint64         `json:"seq"`
+	Priority int            `json:"priority"`
+	State    State          `json:"state"`
+	Error    string         `json:"error,omitempty"`
+	Created  time.Time      `json:"created"`
+	Plan     *campaign.Plan `json:"plan"`
+}
+
+// Options configures a Manager.
+type Options struct {
+	// StateDir is the root of all persistent state (jobs + store).
+	StateDir string
+	// Executors bounds how many jobs run concurrently (default 2). Each
+	// job's strike-level parallelism is its plan's Workers setting.
+	Executors int
+	// StoreCap is the content-addressed store's size cap in bytes; the
+	// LRU GC runs after every store write. <= 0 disables eviction.
+	StoreCap int64
+	// MaxJobs bounds how many job records the manager retains. When a
+	// submission would exceed it, the oldest *terminal* jobs are pruned —
+	// in-memory record and jobs/<id>/ directory alike (their deduplicated
+	// cell summaries live on in the store). Queued and running jobs are
+	// never pruned. <= 0 selects the default of 1024.
+	MaxJobs int
+}
+
+// ErrNotFinished is returned by Result for a job still queued or running.
+var ErrNotFinished = errors.New("service: job has not finished")
+
+// ErrUnknownJob is returned for job IDs the manager has never seen.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// ErrDraining is returned by Submit once a drain has begun.
+var ErrDraining = errors.New("service: manager is draining")
+
+// Manager owns the queue, the executor pool, the job table and the
+// result store. Create with New, start executors with Start, stop with
+// Drain — which checkpoints in-flight jobs so a successor Manager on the
+// same state directory resumes them.
+type Manager struct {
+	opts  Options
+	store *store.Store
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*Job
+	queue  jobQueue
+	seq    uint64
+	closed bool
+	subs   map[string]map[chan Event]bool
+}
+
+// New opens (or creates) the state directory, loads persisted jobs —
+// re-queueing any that were queued or running when the previous process
+// stopped — and opens the content-addressed store. Call Start to begin
+// executing.
+func New(opts Options) (*Manager, error) {
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("service: Options.StateDir is required")
+	}
+	if opts.Executors <= 0 {
+		opts.Executors = 2
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 1024
+	}
+	st, err := store.Open(filepath.Join(opts.StateDir, "store"))
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(opts.StateDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		store:      st,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       map[string]*Job{},
+		subs:       map[string]map[chan Event]bool{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.load(); err != nil {
+		cancel()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Store exposes the result store (stats endpoints, tests).
+func (m *Manager) Store() *store.Store { return m.store }
+
+// load restores the job table from the state directory.
+func (m *Manager) load() error {
+	entries, err := os.ReadDir(filepath.Join(m.opts.StateDir, "jobs"))
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	var loaded []*Job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(m.opts.StateDir, "jobs", e.Name(), "job.json"))
+		if err != nil {
+			continue // half-created job dir: ignore
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID == "" || rec.Plan == nil {
+			continue
+		}
+		if err := rec.Plan.Validate(); err != nil {
+			continue // a plan this build can no longer run (deregistered kernel)
+		}
+		j := &Job{
+			ID:        rec.ID,
+			Seq:       rec.Seq,
+			Priority:  rec.Priority,
+			Plan:      rec.Plan,
+			State:     rec.State,
+			Error:     rec.Error,
+			Created:   rec.Created,
+			heapIndex: -1,
+		}
+		j.cells = newCellStatuses(rec.Plan)
+		// A job that was mid-flight when the previous process stopped is
+		// simply queued again: its completed cells reload from
+		// cell-<i>.json and its in-flight cell resumes from its log.
+		if j.State == StateRunning {
+			j.State = StateQueued
+		}
+		m.markRestoredCells(j)
+		loaded = append(loaded, j)
+	}
+	sort.Slice(loaded, func(i, k int) bool { return loaded[i].Seq < loaded[k].Seq })
+	for _, j := range loaded {
+		m.jobs[j.ID] = j
+		if j.Seq >= m.seq {
+			m.seq = j.Seq + 1
+		}
+		if j.State == StateQueued {
+			heap.Push(&m.queue, j)
+			m.persistJobLocked(j) // running -> queued transition
+		}
+	}
+	m.pruneJobsLocked()
+	return nil
+}
+
+// markRestoredCells fills a reloaded job's cell statuses from its durable
+// per-cell outcomes, so status reads are accurate before re-execution.
+func (m *Manager) markRestoredCells(j *Job) {
+	for i := range j.cells {
+		data, err := os.ReadFile(m.cellResultPath(j.ID, i))
+		if err != nil {
+			continue
+		}
+		var cr CellResult
+		if json.Unmarshal(data, &cr) != nil {
+			continue
+		}
+		switch {
+		case cr.Error != "":
+			j.cells[i].State = "failed"
+			j.cells[i].Error = cr.Error
+		case cr.Summary != nil:
+			j.cells[i].State = "done"
+			j.cells[i].Strikes = j.cells[i].Total
+			j.cells[i].Cached = cr.Cached
+			j.cells[i].Resumed = cr.Resumed
+		}
+	}
+}
+
+func newCellStatuses(p *campaign.Plan) []CellStatus {
+	cells := make([]CellStatus, len(p.Cells))
+	for i := range cells {
+		cells[i] = CellStatus{State: "pending", Total: p.Strikes}
+	}
+	return cells
+}
+
+// Start launches the executor pool.
+func (m *Manager) Start() {
+	for i := 0; i < m.opts.Executors; i++ {
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for {
+				j := m.next()
+				if j == nil {
+					return
+				}
+				m.runJob(m.baseCtx, j)
+			}
+		}()
+	}
+}
+
+// next blocks until a job is available or the manager is draining.
+func (m *Manager) next() *Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if m.closed {
+		return nil
+	}
+	return heap.Pop(&m.queue).(*Job)
+}
+
+// Drain stops the service gracefully: no new submissions, queued jobs
+// stay queued, and running jobs are cancelled at their next chunk
+// boundary — their checkpoint logs already cover everything before it —
+// then persisted as queued so a successor Manager on the same state
+// directory resumes them. Blocks until the executors have exited or ctx
+// expires.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.baseCancel()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+}
+
+// Submit validates and enqueues a plan at the given priority (higher runs
+// first; equal priorities run in submission order) and returns the new
+// job's snapshot.
+func (m *Manager) Submit(p *campaign.Plan, priority int) (Snapshot, error) {
+	if err := p.Validate(); err != nil {
+		return Snapshot{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, ErrDraining
+	}
+	id, err := m.newIDLocked()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	j := &Job{
+		ID:        id,
+		Seq:       m.seq,
+		Priority:  priority,
+		Plan:      p,
+		State:     StateQueued,
+		Created:   time.Now(),
+		cells:     newCellStatuses(p),
+		heapIndex: -1,
+	}
+	m.seq++
+	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+		return Snapshot{}, fmt.Errorf("service: %w", err)
+	}
+	if err := m.persistJobLocked(j); err != nil {
+		return Snapshot{}, err
+	}
+	m.jobs[id] = j
+	heap.Push(&m.queue, j)
+	m.cond.Signal()
+	m.pruneJobsLocked()
+	return m.snapshotLocked(j), nil
+}
+
+// pruneJobsLocked evicts the oldest terminal jobs once the table exceeds
+// Options.MaxJobs, so a long-lived daemon's job state stays bounded the
+// same way its result store does.
+func (m *Manager) pruneJobsLocked() {
+	excess := len(m.jobs) - m.opts.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	var done []*Job
+	for _, j := range m.jobs {
+		if terminal(j.State) {
+			done = append(done, j)
+		}
+	}
+	sort.Slice(done, func(i, k int) bool { return done[i].Seq < done[k].Seq })
+	if excess > len(done) {
+		excess = len(done)
+	}
+	for _, j := range done[:excess] {
+		delete(m.jobs, j.ID)
+		_ = os.RemoveAll(m.jobDir(j.ID))
+		for ch := range m.subs[j.ID] {
+			close(ch) // unsub tolerates this: it re-checks membership
+		}
+		delete(m.subs, j.ID)
+	}
+}
+
+// newIDLocked draws a fresh random job ID.
+func (m *Manager) newIDLocked() (string, error) {
+	for range [8]int{} {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "", fmt.Errorf("service: %w", err)
+		}
+		id := "j-" + hex.EncodeToString(b[:])
+		if _, taken := m.jobs[id]; !taken {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("service: could not allocate a job id")
+}
+
+// Job returns a job's snapshot.
+func (m *Manager) Job(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrUnknownJob
+	}
+	return m.snapshotLocked(j), nil
+}
+
+// Jobs lists every known job in submission order.
+func (m *Manager) Jobs() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.snapshotLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool {
+		return out[i].Created.Before(out[k].Created) || (out[i].Created.Equal(out[k].Created) && out[i].ID < out[k].ID)
+	})
+	return out
+}
+
+// Result returns a finished job's per-cell summaries (ErrNotFinished
+// while the job is queued or running).
+func (m *Manager) Result(id string) (*JobResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if !terminal(j.State) {
+		return nil, ErrNotFinished
+	}
+	if j.result == nil {
+		data, err := os.ReadFile(m.resultPath(id))
+		if err != nil {
+			return nil, fmt.Errorf("service: job %s result: %w", id, err)
+		}
+		var jr JobResult
+		if err := json.Unmarshal(data, &jr); err != nil {
+			return nil, fmt.Errorf("service: job %s result: %w", id, err)
+		}
+		j.result = &jr
+	}
+	return j.result, nil
+}
+
+// Cancel stops a job: a queued job is cancelled immediately, a running
+// one at its next chunk boundary. Terminal jobs are left as they are.
+func (m *Manager) Cancel(id string) (Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, ErrUnknownJob
+	}
+	switch {
+	case j.State == StateQueued:
+		if j.heapIndex >= 0 {
+			heap.Remove(&m.queue, j.heapIndex)
+		}
+		j.State = StateCancelled
+		j.Error = "cancelled by client"
+		now := time.Now()
+		j.Finished = &now
+		j.userCancel = true
+		m.removeCellLogsLocked(j)
+		m.writeResultLocked(j)
+		m.persistJobLocked(j)
+		m.publishLocked(Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error})
+	case j.State == StateRunning:
+		j.userCancel = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return m.snapshotLocked(j), nil
+}
+
+// Subscribe attaches an event channel to a job. Events are dropped, not
+// blocked on, when the subscriber lags. The returned function detaches
+// and closes the channel.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[id]; !ok {
+		return nil, nil, ErrUnknownJob
+	}
+	ch := make(chan Event, 256)
+	if m.subs[id] == nil {
+		m.subs[id] = map[chan Event]bool{}
+	}
+	m.subs[id][ch] = true
+	unsub := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if m.subs[id][ch] {
+			delete(m.subs[id], ch)
+			close(ch)
+		}
+	}
+	return ch, unsub, nil
+}
+
+func (m *Manager) publishLocked(ev Event) {
+	for ch := range m.subs[ev.JobID] {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop rather than stall the engine. A
+			// terminal state event must not vanish, though — the SSE
+			// handler ends its stream on it — so a subscriber too far
+			// behind to receive one has its channel closed instead, which
+			// ends the stream just the same.
+			if ev.Type == "state" && ev.State.Terminal() {
+				delete(m.subs[ev.JobID], ch)
+				close(ch)
+			}
+		}
+	}
+}
+
+func (m *Manager) snapshotLocked(j *Job) Snapshot {
+	s := Snapshot{
+		ID:           j.ID,
+		State:        j.State,
+		Priority:     j.Priority,
+		Name:         j.Plan.Name,
+		Cells:        append([]CellStatus(nil), j.cells...),
+		StrikesTotal: j.Plan.Strikes * len(j.Plan.Cells),
+		Error:        j.Error,
+		Created:      j.Created,
+		Started:      j.Started,
+		Finished:     j.Finished,
+	}
+	for _, c := range j.cells {
+		s.StrikesDone += c.Strikes
+	}
+	return s
+}
+
+// --- persistence paths ---
+
+func (m *Manager) jobDir(id string) string {
+	return filepath.Join(m.opts.StateDir, "jobs", id)
+}
+func (m *Manager) cellLogPath(id string, i int) string {
+	return filepath.Join(m.jobDir(id), fmt.Sprintf("cell-%d.log", i))
+}
+func (m *Manager) cellResultPath(id string, i int) string {
+	return filepath.Join(m.jobDir(id), fmt.Sprintf("cell-%d.json", i))
+}
+func (m *Manager) resultPath(id string) string {
+	return filepath.Join(m.jobDir(id), "result.json")
+}
+
+// persistJobLocked writes job.json atomically.
+func (m *Manager) persistJobLocked(j *Job) error {
+	rec := jobRecord{
+		ID:       j.ID,
+		Seq:      j.Seq,
+		Priority: j.Priority,
+		State:    j.State,
+		Error:    j.Error,
+		Created:  j.Created,
+		Plan:     j.Plan,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(m.jobDir(j.ID), "job.json"), data)
+}
+
+// writeResultLocked materialises result.json from the in-memory outcomes.
+func (m *Manager) writeResultLocked(j *Job) {
+	jr := &JobResult{
+		ID:         j.ID,
+		State:      j.State,
+		Name:       j.Plan.Name,
+		Thresholds: j.Plan.EffectiveThresholds(),
+		Cells:      append([]CellResult(nil), j.outcomes...),
+	}
+	j.result = jr
+	if data, err := json.MarshalIndent(jr, "", "  "); err == nil {
+		_ = writeFileAtomic(m.resultPath(j.ID), data)
+	}
+}
+
+func (m *Manager) removeCellLogsLocked(j *Job) {
+	for i := range j.Plan.Cells {
+		_ = os.Remove(m.cellLogPath(j.ID, i))
+	}
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+// --- execution ---
+
+// isCancellation mirrors the campaign engine's definition: the caller's
+// context speaking, never a cell's own failure.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// runJob executes one job to completion, cancellation or interruption.
+func (m *Manager) runJob(ctx context.Context, j *Job) {
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	m.mu.Lock()
+	if terminal(j.State) {
+		// A client cancelled the job in the window between the executor
+		// popping it off the queue and this claim: the cancellation
+		// already wrote its final state and result — do not resurrect it.
+		m.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	j.cancel = cancel
+	now := time.Now()
+	j.Started = &now
+	_ = m.persistJobLocked(j)
+	m.publishLocked(Event{Type: "state", JobID: j.ID, State: StateRunning})
+	m.mu.Unlock()
+
+	cfg := j.Plan.Config()
+	ts := j.Plan.EffectiveThresholds()
+	// Kernel construction (the golden simulations) happens here, under
+	// the job's context so a drain during construction still interrupts.
+	cells, err := j.Plan.BuildCtx(jctx)
+	if err != nil {
+		m.finishJob(j, nil, err)
+		return
+	}
+	var outcomes []CellResult
+	var stop error
+	for i := range cells {
+		if err := jctx.Err(); err != nil {
+			stop = err
+			break
+		}
+		cr, err := m.runCell(jctx, j, i, cells[i], cfg, ts)
+		if err != nil {
+			stop = err // only cancellation/interruption surfaces here
+			break
+		}
+		outcomes = append(outcomes, cr)
+	}
+	m.finishJob(j, outcomes, stop)
+}
+
+// finishJob resolves the job's final (or re-queued) state.
+func (m *Manager) finishJob(j *Job, outcomes []CellResult, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.outcomes = outcomes
+	j.cancel = nil
+	switch {
+	case err != nil && isCancellation(err) && j.userCancel:
+		j.State = StateCancelled
+		j.Error = "cancelled by client"
+		m.removeCellLogsLocked(j)
+	case err != nil && isCancellation(err):
+		// Drain interruption: the job goes back to queued with its
+		// checkpoint logs intact; the next incarnation of the manager
+		// resumes it. (Executors are exiting — no local re-enqueue.)
+		j.State = StateQueued
+		j.Started = nil
+	case err != nil:
+		j.State = StateFailed
+		j.Error = err.Error()
+	default:
+		j.State = StateDone
+		for _, o := range outcomes {
+			if o.Error != "" {
+				j.State = StateFailed
+				j.Error = "one or more cells failed"
+				break
+			}
+		}
+	}
+	if terminal(j.State) {
+		now := time.Now()
+		j.Finished = &now
+		m.writeResultLocked(j)
+	}
+	_ = m.persistJobLocked(j)
+	m.publishLocked(Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error})
+}
+
+// progressSink relays chunk boundaries into live job status and the
+// event stream. It satisfies campaign.Sink + ChunkFlusher.
+type progressSink struct {
+	m    *Manager
+	j    *Job
+	cell int
+}
+
+func (p *progressSink) Consume(int, injector.Outcome) {}
+
+func (p *progressSink) FlushChunk(next int) {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	p.j.cells[p.cell].Strikes = next
+	p.m.publishLocked(Event{
+		Type: "chunk", JobID: p.j.ID, Cell: p.cell,
+		Done: next, Total: p.j.cells[p.cell].Total,
+	})
+}
+
+// setCellState updates one cell's live status and emits a cell event for
+// terminal cell states.
+func (m *Manager) setCellState(j *Job, i int, cs CellStatus, emit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.cells[i] = cs
+	if emit {
+		m.publishLocked(Event{
+			Type: "cell", JobID: j.ID, Cell: i,
+			Done: cs.Strikes, Total: cs.Total,
+			Cached: cs.Cached, Error: cs.Error,
+		})
+	}
+}
+
+// runCell produces one cell's outcome: from the job's own durable record
+// (a previous incarnation finished it), from the content-addressed store
+// (any job anywhere computed an identical cell), by resuming a
+// checkpoint log (a previous incarnation was interrupted mid-cell), or
+// by running it fresh under a new checkpoint log. Only cancellation is
+// returned as an error; cell failures are recorded in the outcome.
+func (m *Manager) runCell(jctx context.Context, j *Job, i int, cell campaign.Cell, cfg campaign.Config, ts []float64) (CellResult, error) {
+	spec := j.Plan.Cells[i]
+	total := cfg.Strikes
+	cr := CellResult{Spec: spec, Key: campaign.CellKey(spec, cfg, ts)}
+	logPath := m.cellLogPath(j.ID, i)
+
+	// A previous incarnation of this job already finished this cell.
+	if data, err := os.ReadFile(m.cellResultPath(j.ID, i)); err == nil {
+		var prev CellResult
+		if json.Unmarshal(data, &prev) == nil && (prev.Summary != nil || prev.Error != "") {
+			_ = os.Remove(logPath) // a stale checkpoint log has nothing left to resume
+			m.setCellState(j, i, cellStatusOf(&prev, total), true)
+			return prev, nil
+		}
+	}
+
+	// Content-addressed store: identical cell already computed anywhere.
+	if data, ok := m.store.Get(cr.Key); ok {
+		var rec StoreRecord
+		if err := json.Unmarshal(data, &rec); err == nil && rec.Summary != nil {
+			cr.Cached = true
+			cr.Info = rec.Info
+			cr.Summary = rec.Summary
+			_ = os.Remove(logPath) // ditto: the store superseded the in-flight log
+			m.finishCell(j, i, &cr, total)
+			return cr, nil
+		}
+		_ = m.store.Delete(cr.Key) // torn/alien entry: recompute
+	}
+
+	m.setCellState(j, i, CellStatus{State: "running", Total: total}, false)
+	relay := &progressSink{m: m, j: j, cell: i}
+
+	var info campaign.StreamInfo
+	var sum *campaign.Summary
+	var runErr error
+	resumed := false
+	if prev, err := os.ReadFile(logPath); err == nil && len(prev) > 0 {
+		resumed = true
+		info, sum, runErr = m.resumeCell(jctx, prev, logPath, cell, cfg, ts, relay)
+		if runErr != nil && !isCancellation(runErr) {
+			// The log could not be resumed (damaged beyond salvage, or it
+			// describes something else): discard it and run fresh rather
+			// than wedging the job forever.
+			_ = os.Remove(logPath)
+			resumed = false
+			info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+		}
+	} else {
+		info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+	}
+	cr.Resumed = resumed
+
+	if runErr != nil {
+		if isCancellation(runErr) {
+			// Leave the checkpoint log for the next incarnation; the cell
+			// returns to pending with its consumed-strike count intact.
+			m.mu.Lock()
+			j.cells[i].State = "pending"
+			m.mu.Unlock()
+			return cr, runErr
+		}
+		cr.Error = runErr.Error()
+		_ = os.Remove(logPath)
+		m.finishCell(j, i, &cr, total)
+		return cr, nil
+	}
+
+	cr.Info = &info
+	cr.Summary = sum
+	if data, err := json.Marshal(StoreRecord{Key: cr.Key, Spec: spec, Info: cr.Info, Summary: sum}); err == nil {
+		if m.store.Put(cr.Key, data) == nil && m.opts.StoreCap > 0 {
+			_, _, _ = m.store.GC(m.opts.StoreCap)
+		}
+	}
+	m.finishCell(j, i, &cr, total)
+	_ = os.Remove(logPath)
+	return cr, nil
+}
+
+// finishCell persists a completed cell outcome and updates live status.
+func (m *Manager) finishCell(j *Job, i int, cr *CellResult, total int) {
+	if data, err := json.MarshalIndent(cr, "", "  "); err == nil {
+		_ = writeFileAtomic(m.cellResultPath(j.ID, i), data)
+	}
+	m.setCellState(j, i, cellStatusOf(cr, total), true)
+}
+
+func cellStatusOf(cr *CellResult, total int) CellStatus {
+	cs := CellStatus{Total: total, Cached: cr.Cached, Resumed: cr.Resumed}
+	if cr.Error != "" {
+		cs.State = "failed"
+		cs.Error = cr.Error
+	} else {
+		cs.State = "done"
+		cs.Strikes = total
+	}
+	return cs
+}
+
+// freshCell runs a cell from strike zero under a new checkpoint log.
+func (m *Manager) freshCell(jctx context.Context, logPath string, cell campaign.Cell, cfg campaign.Config, ts []float64, relay campaign.Sink) (campaign.StreamInfo, *campaign.Summary, error) {
+	info, err := campaign.CellInfo(cell.Dev, cell.Kern, cfg)
+	if err != nil {
+		return campaign.StreamInfo{}, nil, err
+	}
+	f, err := os.Create(logPath)
+	if err != nil {
+		return info, nil, fmt.Errorf("service: checkpoint log: %w", err)
+	}
+	chk, err := campaign.NewCheckpointSink(f, info, cfg.Seed)
+	if err != nil {
+		f.Close()
+		return info, nil, err
+	}
+	info, sum, runErr := campaign.RunPlanCell(jctx, cell, cfg, ts, relay, chk)
+	if runErr == nil {
+		runErr = chk.Close() // writes the #END trailer
+	}
+	// On cancellation the trailer is deliberately not written: the log
+	// stays resumable from its last flushed #CHK record.
+	if cerr := f.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return info, sum, runErr
+}
+
+// resumeCell completes a cell from its truncated checkpoint log,
+// rewriting the log (replayed prefix + re-run tail) alongside.
+func (m *Manager) resumeCell(jctx context.Context, prev []byte, logPath string, cell campaign.Cell, cfg campaign.Config, ts []float64, relay campaign.Sink) (campaign.StreamInfo, *campaign.Summary, error) {
+	tmp := logPath + ".resume"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return campaign.StreamInfo{}, nil, fmt.Errorf("service: checkpoint log: %w", err)
+	}
+	info, sum, runErr := campaign.ResumePlanCell(jctx, bytes.NewReader(prev), f, cell, cfg, ts, relay)
+	if cerr := f.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if runErr == nil || isCancellation(runErr) {
+		// Keep the rewritten log: it covers at least as much as the old
+		// one (replayed prefix plus any newly checkpointed tail).
+		if rerr := os.Rename(tmp, logPath); rerr != nil && runErr == nil {
+			runErr = fmt.Errorf("service: checkpoint log: %w", rerr)
+		}
+	} else {
+		_ = os.Remove(tmp)
+	}
+	return info, sum, runErr
+}

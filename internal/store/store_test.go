@@ -1,0 +1,166 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte{byte(i), byte(i >> 8)})
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	if _, ok := s.Get(key); ok {
+		t.Fatalf("Get on empty store hit")
+	}
+	want := []byte(`{"summary": 1}`)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, want)
+	}
+	// Replacement is atomic and last-write-wins.
+	want2 := []byte(`{"summary": 2}`)
+	if err := s.Put(key, want2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(key); !bytes.Equal(got, want2) {
+		t.Fatalf("after replace Get = %q, want %q", got, want2)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(key) {
+		t.Fatalf("Has after Delete")
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("Delete of absent key: %v", err)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"", "short", "UPPERHEX00", "../../../../etc/passwd",
+		"zzzzzzzzzzzzzzzz", "abcd/efgh0123456",
+	} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a non-digest key", bad)
+		}
+		if _, ok := s.Get(bad); ok {
+			t.Errorf("Get(%q) hit", bad)
+		}
+	}
+}
+
+// TestGCEvictsLRU pins the size-capped eviction order: oldest-recency
+// entries go first, a Get refreshes recency, and the store lands at or
+// under the cap.
+func TestGCEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	const entrySize = 100
+	data := bytes.Repeat([]byte("x"), entrySize)
+	keys := make([]string, n)
+	base := time.Now().Add(-time.Hour)
+	for i := range keys {
+		keys[i] = testKey(i)
+		if err := s.Put(keys[i], data); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes so LRU order is deterministic regardless of
+		// filesystem timestamp granularity: key i was last used at base+i.
+		p := filepath.Join(dir, keys[i][:2], keys[i])
+		at := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, at, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Touch the two oldest through Get: they become the most recent.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("miss on keys[0]")
+	}
+	if _, ok := s.Get(keys[1]); !ok {
+		t.Fatal("miss on keys[1]")
+	}
+
+	// Cap at half: 5 entries must be evicted, and they must be the five
+	// least recently used (2..6 — 0 and 1 were just refreshed).
+	evicted, reclaimed, err := s.GC(n * entrySize / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 5 || reclaimed != 5*entrySize {
+		t.Fatalf("GC evicted %d entries / %d bytes, want 5 / %d", evicted, reclaimed, 5*entrySize)
+	}
+	for i, key := range keys {
+		wantAlive := i == 0 || i == 1 || i >= 7
+		if got := s.Has(key); got != wantAlive {
+			t.Errorf("after GC Has(key %d) = %v, want %v", i, got, wantAlive)
+		}
+	}
+	if entries, size, err := s.Stats(); err != nil || entries != 5 || size != 5*entrySize {
+		t.Errorf("Stats = %d entries / %d bytes (%v), want 5 / %d", entries, size, err, 5*entrySize)
+	}
+
+	// Under the cap: GC is a no-op.
+	if evicted, _, err := s.GC(n * entrySize); err != nil || evicted != 0 {
+		t.Errorf("GC under cap evicted %d (%v), want 0", evicted, err)
+	}
+	// Cap <= 0 disables eviction.
+	if evicted, _, err := s.GC(0); err != nil || evicted != 0 {
+		t.Errorf("GC(0) evicted %d (%v), want 0", evicted, err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 50; i++ {
+				key := testKey(i % 10)
+				val := []byte(fmt.Sprintf("worker %d iter %d", w, i))
+				if err := s.Put(key, val); err != nil {
+					done <- err
+					return
+				}
+				if _, ok := s.Get(key); !ok {
+					done <- fmt.Errorf("lost %s", key)
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
