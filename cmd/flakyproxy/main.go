@@ -1,0 +1,68 @@
+// Command flakyproxy is a deliberately unreliable HTTP reverse proxy
+// for exercising the fleet's failure handling outside the test suite —
+// CI's fleet-chaos-smoke job routes real worker processes through it.
+// Each request rolls a seeded lottery to be dropped (connection severed
+// before forwarding), answered 503, killed mid-response (full
+// Content-Length, half the body), or delayed. Fault tallies print on
+// shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"radcrit/internal/fleet/chaostest"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8448", "listen address")
+	target := flag.String("target", "", "backend base URL (required), e.g. http://127.0.0.1:8447")
+	seed := flag.Uint64("seed", 1, "fault lottery seed")
+	drop := flag.Int("drop", 0, "drop one request in N (0 disables)")
+	errRate := flag.Int("error", 0, "answer 503 to one request in N (0 disables)")
+	kill := flag.Int("kill", 0, "kill one response in N mid-stream (0 disables)")
+	delay := flag.Int("delay", 0, "delay one request in N (0 disables)")
+	delayBy := flag.Duration("delay-by", 50*time.Millisecond, "stall injected by a delay fault")
+	quiet := flag.Bool("quiet", false, "suppress the per-fault log lines")
+	flag.Parse()
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "flakyproxy: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "flakyproxy: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	p, err := chaostest.NewProxy(chaostest.ProxyOptions{
+		Target:     *target,
+		Addr:       *addr,
+		Seed:       *seed,
+		DropOneIn:  *drop,
+		ErrorOneIn: *errRate,
+		KillOneIn:  *kill,
+		DelayOneIn: *delay,
+		Delay:      *delayBy,
+		Logf:       logf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("listening on %s, forwarding to %s (seed %d, 1-in-N rates: drop %d, error %d, kill %d, delay %d)",
+		p.Addr(), *target, *seed, *drop, *errRate, *kill, *delay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	p.Close()
+	c := p.Counters()
+	logger.Printf("done: forwarded %d, dropped %d, 503'd %d, killed %d, delayed %d",
+		c.Forwarded, c.Drops, c.Errors, c.Kills, c.Delays)
+}

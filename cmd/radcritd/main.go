@@ -19,6 +19,16 @@
 // boundary with their checkpoint logs flushed, and a restarted daemon on
 // the same -state directory resumes them.
 //
+// -fleet turns the daemon into a coordinator: a job's cells are sharded
+// into lease-based work items that registered workers pull, heartbeat
+// and complete; a lost worker's lease expires and its cell requeues from
+// the last streamed checkpoint, and with zero healthy workers the daemon
+// degrades to local execution. Fleet health is at GET /v1/fleet.
+//
+// -worker joins a coordinator's fleet instead of serving:
+//
+//	radcritd -worker -coordinator http://127.0.0.1:8447 -name w1
+//
 // -oneshot runs a plan in-process through the same engine and prints the
 // result in the API's JSON shape — the comparison form CI uses to assert
 // that daemon results equal direct StreamRunner runs.
@@ -27,6 +37,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +50,7 @@ import (
 	"radcrit/internal/api"
 	"radcrit/internal/campaign"
 	"radcrit/internal/cli"
+	"radcrit/internal/fleet"
 	"radcrit/internal/service"
 )
 
@@ -49,7 +61,15 @@ func main() {
 	storeCapMB := flag.Int64("store-cap-mb", 0, "result-store size cap in MiB before LRU eviction (0 = uncapped)")
 	maxJobs := flag.Int("max-jobs", 0, "job records retained before the oldest finished jobs are pruned (0 = default 1024)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight chunks to checkpoint")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (event streams are exempt)")
 	oneshot := flag.String("oneshot", "", "run the plan `file` in-process and print the result JSON (no daemon)")
+	fleetMode := flag.Bool("fleet", false, "coordinate a worker fleet: shard job cells into leases workers pull")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet: lease lifetime without a heartbeat before a cell requeues")
+	speculate := flag.Duration("speculate-after", 30*time.Second, "fleet: straggler threshold before a cell is speculatively re-dispatched")
+	worker := flag.Bool("worker", false, "run as a fleet worker instead of serving")
+	coordinator := flag.String("coordinator", "http://127.0.0.1:8447", "worker: coordinator base URL")
+	name := flag.String("name", "", "worker: label shown in fleet health (default: hostname)")
+	throttle := flag.Duration("throttle-chunk", 0, "worker: pause after each checkpoint chunk (pacing for chaos/failure drills)")
 	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
 	cli.ExitIfVersion(*showVersion)
@@ -58,24 +78,54 @@ func main() {
 		runOneshot(*oneshot)
 		return
 	}
+	if *worker {
+		runWorker(*coordinator, *name, *throttle)
+		return
+	}
 
 	logger := log.New(os.Stderr, "radcritd: ", log.LstdFlags)
-	m, err := service.New(service.Options{
+	opts := service.Options{
 		StateDir:  *state,
 		Executors: *executors,
 		StoreCap:  *storeCapMB << 20,
 		MaxJobs:   *maxJobs,
-	})
+	}
+	var coord *fleet.Coordinator
+	if *fleetMode {
+		coord = fleet.NewCoordinator(fleet.Options{
+			LeaseTTL:       *leaseTTL,
+			SpeculateAfter: *speculate,
+			Logf:           logger.Printf,
+		})
+		opts.Remote = coord
+	}
+	m, err := service.New(opts)
 	if err != nil {
 		logger.Fatal(err)
 	}
 	m.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: api.New(m, cli.Version())}
+	root := http.NewServeMux()
+	root.Handle("/", api.New(m, cli.Version(), api.WithRequestTimeout(*requestTimeout)))
+	if coord != nil {
+		coord.Routes(root)
+	}
+	// The listener-side timeouts keep a slow or stalled client — a
+	// half-open mobile connection, a worker dying mid-upload — from
+	// pinning a connection (and its handler goroutine) forever. Write
+	// deadlines stay per-request (via -request-timeout) because the SSE
+	// event stream is legitimately long-lived.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           root,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Printf("%s", cli.Version())
-	logger.Printf("serving on http://%s (state: %s, executors: %d)", *addr, *state, *executors)
+	logger.Printf("serving on http://%s (state: %s, executors: %d, fleet: %v)", *addr, *state, *executors, *fleetMode)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -93,7 +143,28 @@ func main() {
 		logger.Printf("drain incomplete: %v", err)
 		os.Exit(1)
 	}
+	if coord != nil {
+		coord.Close()
+	}
 	logger.Printf("drained cleanly")
+}
+
+// runWorker joins a coordinator's fleet and processes leases until
+// SIGINT/SIGTERM, abandoning any in-flight lease so its cell requeues
+// immediately.
+func runWorker(base, name string, throttle time.Duration) {
+	logger := log.New(os.Stderr, "radcritd-worker: ", log.LstdFlags)
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := fleet.NewWorker(fleet.WorkerOptions{Base: base, Name: name, Logf: logger.Printf, ThrottleChunk: throttle})
+	logger.Printf("%s", cli.Version())
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Fatal(err)
+	}
+	logger.Printf("stopped")
 }
 
 // runOneshot executes a plan in-process through StreamRunner and prints

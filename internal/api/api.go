@@ -16,11 +16,14 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
+	"time"
 
 	"radcrit/internal/campaign"
 	"radcrit/internal/registry"
@@ -36,12 +39,26 @@ type Server struct {
 	m       *service.Manager
 	version string
 	mux     *http.ServeMux
+	timeout time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRequestTimeout bounds every handler's request context. The SSE
+// event stream is exempt — it is legitimately long-lived and ends on
+// job completion or client disconnect instead.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
 }
 
 // New builds the API handler. version is the daemon's build string
 // (cli.Version()), surfaced at GET /v1/version.
-func New(m *service.Manager, version string) *Server {
+func New(m *service.Manager, version string, opts ...Option) *Server {
 	s := &Server{m: m, version: version, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
@@ -55,6 +72,11 @@ func New(m *service.Manager, version string) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.timeout > 0 && !strings.HasSuffix(r.URL.Path, "/events") {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -160,8 +182,11 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 
 // events streams a job's progress as Server-Sent Events: an initial
 // "status" event with the full snapshot, then "state"/"cell"/"chunk"
-// events as they happen. The stream ends when the job reaches a terminal
-// state or the client disconnects.
+// events as they happen. Every job event carries an SSE id (the job's
+// event sequence number); a reconnecting client that presents it via the
+// standard Last-Event-ID header is replayed the events it missed (up to
+// the ring's retention) before the live tail. The stream ends when the
+// job reaches a terminal state or the client disconnects.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	flusher, ok := w.(http.Flusher)
@@ -169,10 +194,19 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	var after uint64
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		v, err := strconv.ParseUint(lei, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad Last-Event-ID %q", lei)
+			return
+		}
+		after = v
+	}
 	// Subscribe before reading the snapshot: the other order has a gap
 	// in which the job's terminal state event can be published to nobody,
 	// leaving this stream waiting forever on a job that already finished.
-	ch, unsub, err := s.m.Subscribe(id)
+	backlog, ch, unsub, err := s.m.SubscribeFrom(id, after)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
@@ -187,12 +221,18 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	sse := func(event string, v any) {
+	sse := func(event string, seq uint64, v any) {
 		data, _ := json.Marshal(v)
+		if seq > 0 {
+			fmt.Fprintf(w, "id: %d\n", seq)
+		}
 		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 		flusher.Flush()
 	}
-	sse("status", snap)
+	sse("status", 0, snap)
+	for _, ev := range backlog {
+		sse(ev.Type, ev.Seq, ev)
+	}
 	if snap.State.Terminal() {
 		return
 	}
@@ -204,7 +244,7 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return
 			}
-			sse(ev.Type, ev)
+			sse(ev.Type, ev.Seq, ev)
 			if ev.Type == "state" && ev.State.Terminal() {
 				return
 			}

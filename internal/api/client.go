@@ -1,11 +1,15 @@
 package api
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -25,6 +29,19 @@ type Client struct {
 	Base string
 	// HTTPClient overrides the transport (nil = http.DefaultClient).
 	HTTPClient *http.Client
+	// Timeout bounds each individual request attempt (not the whole
+	// retried call, whose budget is the caller's ctx). 0 means no
+	// per-attempt deadline beyond ctx's. Event streams are exempt.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after a transient failure —
+	// a transport error, a 5xx, or a 429. 0 selects the default (3);
+	// negative disables retrying. GET and DELETE retry on any transient
+	// failure; POST retries only when the connection never reached the
+	// server (a dial error), so a submit is never accidentally doubled.
+	Retries int
+	// RetryBase is the first backoff delay, doubled per attempt with
+	// jitter (default 200ms).
+	RetryBase time.Duration
 }
 
 // NewClient normalises addr into a Client.
@@ -42,38 +59,110 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes the JSON response into out, turning
-// non-2xx statuses into errors carrying the server's message.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, body)
+// attempt issues one request under the per-attempt timeout and returns
+// the status and body. A nil error with a non-2xx status is a protocol
+// answer; an error is transport failure.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return 0, fmt.Errorf("api: %w", err)
+		return 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return 0, fmt.Errorf("api: %w", err)
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return resp.StatusCode, fmt.Errorf("api: %w", err)
+		return resp.StatusCode, nil, err
 	}
-	if resp.StatusCode >= 400 {
+	return resp.StatusCode, data, nil
+}
+
+// fetch is attempt under the client's retry policy: transient failures
+// (transport errors, 5xx, 429) back off exponentially with jitter and
+// retry, within the caller's ctx. POST only retries dial errors — if
+// the request may have reached the server, retrying could double it.
+func (c *Client) fetch(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	retries := c.Retries
+	switch {
+	case retries == 0:
+		retries = 3
+	case retries < 0:
+		retries = 0
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		status, data, err := c.attempt(ctx, method, path, body)
+		if !retriable(method, status, err) || attempt >= retries || ctx.Err() != nil {
+			return status, data, err
+		}
+		delay := base << attempt
+		if delay > 5*time.Second {
+			delay = 5 * time.Second
+		}
+		// Jitter over [delay/2, delay) so a fleet of clients recovering
+		// from the same blip does not retry in lockstep.
+		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return status, data, err
+		case <-t.C:
+		}
+	}
+}
+
+// retriable classifies one attempt's outcome under the retry policy.
+func retriable(method string, status int, err error) bool {
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+	if err != nil {
+		if idempotent {
+			return true
+		}
+		// The connection never reached the server: safe for any method.
+		var opErr *net.OpError
+		return errors.As(err, &opErr) && opErr.Op == "dial"
+	}
+	return idempotent && (status >= 500 || status == http.StatusTooManyRequests)
+}
+
+// do issues a (retried) request and decodes the JSON response into out,
+// turning non-2xx statuses into errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	status, data, err := c.fetch(ctx, method, path, body)
+	if err != nil {
+		return status, fmt.Errorf("api: %w", err)
+	}
+	if status >= 400 {
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return resp.StatusCode, fmt.Errorf("api: %s: %s", resp.Status, ae.Error)
+			return status, fmt.Errorf("api: %s %s: HTTP %d: %s", method, path, status, ae.Error)
 		}
-		return resp.StatusCode, fmt.Errorf("api: %s", resp.Status)
+		return status, fmt.Errorf("api: %s %s: HTTP %d", method, path, status)
 	}
 	if out != nil {
 		if err := json.Unmarshal(data, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("api: decode %s: %w", path, err)
+			return status, fmt.Errorf("api: decode %s: %w", path, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return status, nil
 }
 
 // Submit posts a plan at the given priority and returns the new job.
@@ -87,7 +176,7 @@ func (c *Client) Submit(ctx context.Context, p *campaign.Plan, priority int) (se
 		path += "?priority=" + url.QueryEscape(strconv.Itoa(priority))
 	}
 	var snap service.Snapshot
-	_, err = c.do(ctx, http.MethodPost, path, bytes.NewReader(data), &snap)
+	_, err = c.do(ctx, http.MethodPost, path, data, &snap)
 	return snap, err
 }
 
@@ -101,29 +190,20 @@ func (c *Client) Status(ctx context.Context, id string) (service.Snapshot, error
 // Result fetches a finished job's summaries. While the job is still
 // queued or running it returns service.ErrNotFinished.
 func (c *Client) Result(ctx context.Context, id string) (*service.JobResult, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.Base+"/v1/jobs/"+url.PathEscape(id)+"/result", nil)
-	if err != nil {
-		return nil, fmt.Errorf("api: %w", err)
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("api: %w", err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	path := "/v1/jobs/" + url.PathEscape(id) + "/result"
+	status, data, err := c.fetch(ctx, http.MethodGet, path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("api: %w", err)
 	}
 	switch {
-	case resp.StatusCode == http.StatusAccepted:
+	case status == http.StatusAccepted:
 		return nil, service.ErrNotFinished
-	case resp.StatusCode >= 400:
+	case status >= 400:
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return nil, fmt.Errorf("api: %s: %s", resp.Status, ae.Error)
+			return nil, fmt.Errorf("api: GET %s: HTTP %d: %s", path, status, ae.Error)
 		}
-		return nil, fmt.Errorf("api: %s", resp.Status)
+		return nil, fmt.Errorf("api: GET %s: HTTP %d", path, status)
 	}
 	var jr service.JobResult
 	if err := json.Unmarshal(data, &jr); err != nil {
@@ -178,6 +258,151 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, onProg
 		case <-t.C:
 		}
 	}
+}
+
+// ClientEvent is one frame of a job's SSE event stream as the client
+// surfaces it.
+type ClientEvent struct {
+	// Type is the SSE event name: "status" (full snapshot), "state",
+	// "cell", "chunk" — or the synthetic "reconnected", emitted locally
+	// after the stream is re-established following a drop.
+	Type string
+	// Data is the frame's JSON payload: a service.Snapshot for "status",
+	// a service.Event otherwise, nil for "reconnected".
+	Data json.RawMessage
+}
+
+// Events follows a job's SSE progress stream, delivering every frame to
+// onEvent. A dropped connection reconnects with jittered exponential
+// backoff, presenting the standard Last-Event-ID header so the server
+// replays missed events from its ring; after each successful reconnect
+// a synthetic "reconnected" frame is delivered first, so a consumer
+// knows its view may have gapped (the ring holds a bounded backlog).
+// Events returns nil once the job reaches a terminal state, ctx's error
+// on cancellation, and a non-retriable server answer (404, 400) as an
+// error.
+func (c *Client) Events(ctx context.Context, id string, onEvent func(ClientEvent)) error {
+	var lastID string
+	backoff := 200 * time.Millisecond
+	connected := false
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		terminal, established, err := c.streamEvents(ctx, id, &lastID, connected, onEvent)
+		if terminal {
+			return nil
+		}
+		if err != nil {
+			var fatal *fatalStreamError
+			if errors.As(err, &fatal) {
+				return fatal.err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+		if established {
+			connected = true
+			backoff = 200 * time.Millisecond
+		}
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// fatalStreamError marks a server answer reconnecting cannot fix.
+type fatalStreamError struct{ err error }
+
+func (e *fatalStreamError) Error() string { return e.err.Error() }
+
+// streamEvents runs one connection of the event stream. It reports
+// whether the job reached a terminal state (the clean end) and whether
+// the stream was established at all (HTTP 200).
+func (c *Client) streamEvents(ctx context.Context, id string, lastID *string, reconnected bool, onEvent func(ClientEvent)) (terminal, established bool, _ error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return false, false, &fatalStreamError{err: fmt.Errorf("api: %w", err)}
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		err := fmt.Errorf("api: events: HTTP %d", resp.StatusCode)
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			err = fmt.Errorf("api: events: HTTP %d: %s", resp.StatusCode, ae.Error)
+		}
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return false, false, err // transient: reconnect
+		}
+		return false, false, &fatalStreamError{err: err}
+	}
+	if reconnected {
+		onEvent(ClientEvent{Type: "reconnected"})
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data, id_ string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event != "" || data != "" {
+				if id_ != "" {
+					*lastID = id_
+				}
+				ev := ClientEvent{Type: event, Data: json.RawMessage(data)}
+				onEvent(ev)
+				if terminalFrame(ev) {
+					return true, true, nil
+				}
+			}
+			event, data, id_ = "", "", ""
+		case strings.HasPrefix(line, "id: "):
+			id_ = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return false, true, err
+	}
+	return false, true, io.ErrUnexpectedEOF // server closed without a terminal state
+}
+
+// terminalFrame reports whether a frame announces the job's terminal
+// state, ending the stream cleanly.
+func terminalFrame(ev ClientEvent) bool {
+	switch ev.Type {
+	case "status":
+		var snap service.Snapshot
+		return json.Unmarshal(ev.Data, &snap) == nil && snap.State.Terminal()
+	case "state":
+		var sev service.Event
+		return json.Unmarshal(ev.Data, &sev) == nil && sev.State.Terminal()
+	}
+	return false
 }
 
 // Run is the whole client workflow: submit, wait, fetch the result.

@@ -34,6 +34,14 @@ const cellKeyVersion = "radcrit-cell-v1"
 // differently. That is the safe direction — distinct keys only cost a
 // recomputation, never a wrong answer.
 func CellKey(spec CellSpec, cfg Config, thresholds []float64) string {
+	sum := sha256.Sum256([]byte(cellKeyPayload(spec, cfg, thresholds)))
+	return hex.EncodeToString(sum[:])
+}
+
+// cellKeyPayload is the canonical pre-hash encoding behind CellKey. It is
+// injective over its inputs (length-prefixed strings, hex-formatted
+// floats) — FuzzCellKey round-trips it to keep that property pinned.
+func cellKeyPayload(spec CellSpec, cfg Config, thresholds []float64) string {
 	var b strings.Builder
 	b.WriteString(cellKeyVersion)
 	b.WriteByte('\n')
@@ -53,8 +61,7 @@ func CellKey(spec CellSpec, cfg Config, thresholds []float64) string {
 		b.WriteString(strconv.FormatFloat(t, 'x', -1, 64))
 	}
 	b.WriteByte('\n')
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
+	return b.String()
 }
 
 // keyStr writes one length-prefixed string field, so no crafted name can

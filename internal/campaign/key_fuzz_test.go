@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"radcrit/internal/beam"
+)
+
+// FuzzCellKey pins the two properties the persistent store leans on:
+// the canonical cell encoding is deterministic (equal inputs → equal
+// key) and injective (the payload decodes back to exactly the inputs,
+// so distinct inputs can never collide before the hash). It also pins
+// what the key deliberately ignores: Workers and StreamChunk, which can
+// change wall time and checkpoint granularity but never a summary bit.
+func FuzzCellKey(f *testing.F) {
+	f.Add("k40", "dgemm:128", "LANSCE", uint64(42), 600, 1.5, 0.0, 2.0, uint8(2))
+	f.Add("", "", "", uint64(0), 0, 0.0, 0.0, 0.0, uint8(0))
+	// Adversarial names that try to smuggle field separators.
+	f.Add("x\nkernel=y", "5:abc", "ISIS\n", uint64(1), -3, -0.0, math.Inf(1), 1e-300, uint8(1))
+	f.Add("device=9:", "a,b", "thresholds=", ^uint64(0), 1<<30, 6.02e23, -1.0, 0.5, uint8(3))
+	f.Fuzz(func(t *testing.T, device, kernel, facility string, seed uint64, strikes int, baseExec, t0, t1 float64, nThresh uint8) {
+		// All NaN bit patterns render as one "NaN" token, so injectivity
+		// cannot (and need not) hold across them: no real facility or
+		// threshold is NaN.
+		if math.IsNaN(baseExec) || math.IsNaN(t0) || math.IsNaN(t1) {
+			t.Skip("NaN inputs are out of the encoding's domain")
+		}
+		spec := CellSpec{Device: device, Kernel: kernel}
+		cfg := Config{
+			Seed:            seed,
+			Strikes:         strikes,
+			BaseExecSeconds: baseExec,
+			Facility:        beam.Facility{Name: facility},
+		}
+		// Halving cannot manufacture a NaN from non-NaN inputs, unlike
+		// t0+t1 (Inf + -Inf), so the skip above keeps the whole list
+		// inside the encoding's domain.
+		thresholds := []float64{t0, t1, t0 * 0.5}[:nThresh%4]
+
+		payload := cellKeyPayload(spec, cfg, thresholds)
+		if again := cellKeyPayload(spec, cfg, thresholds); again != payload {
+			t.Fatalf("payload is not deterministic:\n%q\n%q", payload, again)
+		}
+		key := CellKey(spec, cfg, thresholds)
+		if len(key) != 64 {
+			t.Fatalf("CellKey = %q, want 64 hex chars", key)
+		}
+		if again := CellKey(spec, cfg, thresholds); again != key {
+			t.Fatalf("CellKey is not deterministic: %s vs %s", key, again)
+		}
+
+		// Workers and StreamChunk must not leak into the key: they are
+		// wall-time knobs, excluded so a re-sharded re-run still hits.
+		noisy := cfg
+		noisy.Workers = 7
+		noisy.StreamChunk = 33
+		if CellKey(spec, noisy, thresholds) != key {
+			t.Fatal("Workers/StreamChunk changed the cell key")
+		}
+
+		// Injectivity: the payload must decode back to the exact inputs.
+		// An encoding a parser can invert cannot map two inputs to one
+		// payload — even when field values contain \n, "field=" or ":".
+		gotSpec, gotCfg, gotThresh := decodeKeyPayload(t, payload)
+		if gotSpec != spec {
+			t.Errorf("decoded spec %+v, want %+v", gotSpec, spec)
+		}
+		if gotCfg.Seed != seed || gotCfg.Strikes != strikes || gotCfg.Facility.Name != facility {
+			t.Errorf("decoded cfg %+v, want seed=%d strikes=%d facility=%q", gotCfg, seed, strikes, facility)
+		}
+		if !sameFloat(gotCfg.BaseExecSeconds, baseExec) {
+			t.Errorf("decoded base exec %x, want %x", gotCfg.BaseExecSeconds, baseExec)
+		}
+		if len(gotThresh) != len(thresholds) {
+			t.Fatalf("decoded %d thresholds, want %d", len(gotThresh), len(thresholds))
+		}
+		for i := range thresholds {
+			if !sameFloat(gotThresh[i], thresholds[i]) {
+				t.Errorf("decoded threshold[%d] = %x, want %x", i, gotThresh[i], thresholds[i])
+			}
+		}
+	})
+}
+
+// sameFloat compares by bit pattern: the key is a function of the exact
+// bits, so -0 and +0 are distinct on purpose.
+func sameFloat(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// decodeKeyPayload inverts cellKeyPayload. It is the test's independent
+// reading of the canonical encoding — if the encoding ever becomes
+// ambiguous (say, a field loses its length prefix), some fuzz input will
+// decode to different values than went in.
+func decodeKeyPayload(t *testing.T, payload string) (spec CellSpec, cfg Config, thresholds []float64) {
+	t.Helper()
+	rest, ok := strings.CutPrefix(payload, cellKeyVersion+"\n")
+	if !ok {
+		t.Fatalf("payload missing version header: %q", payload)
+	}
+	spec.Device, rest = cutLenStr(t, rest, "device")
+	spec.Kernel, rest = cutLenStr(t, rest, "kernel")
+	var line string
+	line, rest = cutLine(t, rest)
+	u, err := strconv.ParseUint(strings.TrimPrefix(line, "seed="), 10, 64)
+	if err != nil {
+		t.Fatalf("seed line %q: %v", line, err)
+	}
+	cfg.Seed = u
+	line, rest = cutLine(t, rest)
+	n, err := strconv.Atoi(strings.TrimPrefix(line, "strikes="))
+	if err != nil {
+		t.Fatalf("strikes line %q: %v", line, err)
+	}
+	cfg.Strikes = n
+	line, rest = cutLine(t, rest)
+	cfg.BaseExecSeconds = parseHexFloat(t, strings.TrimPrefix(line, "base_exec_seconds="))
+	cfg.Facility.Name, rest = cutLenStr(t, rest, "facility")
+	line, rest = cutLine(t, rest)
+	list := strings.TrimPrefix(line, "thresholds=")
+	if list != "" {
+		for _, tok := range strings.Split(list, ",") {
+			thresholds = append(thresholds, parseHexFloat(t, tok))
+		}
+	}
+	if rest != "" {
+		t.Fatalf("trailing bytes after payload: %q", rest)
+	}
+	return spec, cfg, thresholds
+}
+
+// cutLenStr consumes one length-prefixed field: "name=<len>:<val>\n"
+// where val may itself contain newlines, '=' or ':'.
+func cutLenStr(t *testing.T, s, field string) (val, rest string) {
+	t.Helper()
+	s, ok := strings.CutPrefix(s, field+"=")
+	if !ok {
+		t.Fatalf("payload missing %q field at %q", field, s)
+	}
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		t.Fatalf("%s field missing length prefix: %q", field, s)
+	}
+	n, err := strconv.Atoi(s[:colon])
+	if err != nil || n < 0 || colon+1+n >= len(s) {
+		t.Fatalf("%s field has bad length %q (err %v)", field, s[:colon], err)
+	}
+	val, s = s[colon+1:colon+1+n], s[colon+1+n:]
+	if s[0] != '\n' {
+		t.Fatalf("%s field not newline-terminated after %d bytes", field, n)
+	}
+	return val, s[1:]
+}
+
+func cutLine(t *testing.T, s string) (line, rest string) {
+	t.Helper()
+	line, rest, ok := strings.Cut(s, "\n")
+	if !ok {
+		t.Fatalf("payload truncated: %q", s)
+	}
+	return line, rest
+}
+
+func parseHexFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("float token %q: %v", s, err)
+	}
+	// FormatFloat('x') spells the sign explicitly, so a negative zero
+	// round-trips; ParseFloat preserves it.
+	if s == "-0x0p+00" && !math.Signbit(v) {
+		t.Fatalf("negative zero lost its sign: %q -> %x", s, v)
+	}
+	return v
+}

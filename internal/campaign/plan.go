@@ -248,6 +248,29 @@ func (p *Plan) BuildCtx(ctx context.Context) ([]Cell, error) {
 	return cells, nil
 }
 
+// BuildCell resolves one cell spec in isolation — the form serving layers
+// that shard a plan cell-by-cell use, constructing exactly the cell a
+// work item names instead of the whole plan's matrix. The spec is
+// validated first, so a malformed or unregistered cell comes back as an
+// error rather than a construction panic.
+func BuildCell(spec CellSpec) (Cell, error) {
+	if err := registry.ValidateDevice(spec.Device); err != nil {
+		return Cell{}, err
+	}
+	if err := registry.ValidateKernel(spec.Kernel); err != nil {
+		return Cell{}, err
+	}
+	dev, err := registry.NewDevice(spec.Device)
+	if err != nil {
+		return Cell{}, err
+	}
+	kern, err := registry.NewKernel(spec.Kernel)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{Dev: dev, Kern: kern}, nil
+}
+
 // planJSON mirrors Plan for the custom (un)marshallers: the alias drops
 // the methods, avoiding recursion while keeping one set of field tags.
 type planJSON Plan

@@ -1,0 +1,229 @@
+// Package chaostest is the fleet's failure-injection harness: a seeded
+// flaky reverse proxy that drops, delays, 5xxes and kills connections
+// mid-response, plus helpers that run real worker subprocesses the tests
+// can SIGKILL mid-cell. The chaos suite routes fleet traffic through the
+// proxy and asserts that every induced failure still converges to
+// summaries byte-identical to a direct in-process run — the repo's
+// bit-identity contract, extended to a lossy network.
+package chaostest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ProxyOptions configures one flaky proxy.
+type ProxyOptions struct {
+	// Target is the backend base URL ("http://127.0.0.1:port").
+	Target string
+	// Addr is the listen address (default "127.0.0.1:0", a fresh port).
+	Addr string
+	// Seed drives the fault lottery deterministically (for a fixed
+	// request order).
+	Seed uint64
+	// DropOneIn, DelayOneIn, ErrorOneIn, KillOneIn are 1-in-N fault
+	// rates (0 disables that fault). Drop severs the connection before
+	// forwarding; Delay stalls the request; Error answers 503 without
+	// forwarding; Kill forwards, then truncates the response body
+	// mid-stream and severs the connection.
+	DropOneIn, DelayOneIn, ErrorOneIn, KillOneIn int
+	// Delay is the stall injected by a Delay fault (default 50ms).
+	Delay time.Duration
+	// Logf receives one line per injected fault (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// ProxyCounters tallies what the proxy did — the proof chaos actually
+// happened.
+type ProxyCounters struct {
+	Forwarded int
+	Drops     int
+	Delays    int
+	Errors    int
+	Kills     int
+}
+
+// Proxy is a deliberately unreliable HTTP reverse proxy.
+type Proxy struct {
+	opts   ProxyOptions
+	lis    net.Listener
+	srv    *http.Server
+	client *http.Client
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	counters ProxyCounters
+}
+
+const (
+	faultNone = iota
+	faultDrop
+	faultDelay
+	faultError
+	faultKill
+)
+
+// NewProxy starts a flaky proxy on a fresh localhost port. Close it when
+// done; Addr is the base URL clients should use.
+func NewProxy(opts ProxyOptions) (*Proxy, error) {
+	if opts.Delay <= 0 {
+		opts.Delay = 50 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		opts: opts,
+		lis:  lis,
+		rng:  rand.New(rand.NewSource(int64(opts.Seed))),
+		// The proxy's upstream client must not recycle its own faults:
+		// plain transport, generous timeout.
+		client: &http.Client{Timeout: 2 * time.Minute},
+	}
+	p.srv = &http.Server{Handler: p}
+	go func() { _ = p.srv.Serve(lis) }()
+	return p, nil
+}
+
+// Addr is the proxy's base URL.
+func (p *Proxy) Addr() string { return "http://" + p.lis.Addr().String() }
+
+// Close stops the proxy.
+func (p *Proxy) Close() { _ = p.srv.Close() }
+
+// Counters snapshots the fault tallies.
+func (p *Proxy) Counters() ProxyCounters {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counters
+}
+
+// roll draws the next request's fault from the seeded lottery.
+func (p *Proxy) roll() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	oneIn := func(n int) bool { return n > 0 && p.rng.Intn(n) == 0 }
+	switch {
+	case oneIn(p.opts.DropOneIn):
+		p.counters.Drops++
+		return faultDrop
+	case oneIn(p.opts.ErrorOneIn):
+		p.counters.Errors++
+		return faultError
+	case oneIn(p.opts.KillOneIn):
+		p.counters.Kills++
+		return faultKill
+	case oneIn(p.opts.DelayOneIn):
+		p.counters.Delays++
+		return faultDelay
+	default:
+		p.counters.Forwarded++
+		return faultNone
+	}
+}
+
+// ServeHTTP implements the flaky forwarding. Bodies are buffered whole
+// (the fleet API is small JSON; this proxy is not for SSE streams).
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fault := p.roll()
+	switch fault {
+	case faultDrop:
+		p.opts.Logf("chaos: drop %s %s", r.Method, r.URL.Path)
+		sever(w)
+		return
+	case faultError:
+		p.opts.Logf("chaos: 503 %s %s", r.Method, r.URL.Path)
+		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+		return
+	case faultDelay:
+		p.opts.Logf("chaos: delay %s %s", r.Method, r.URL.Path)
+		time.Sleep(p.opts.Delay)
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "chaos proxy: read request: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.opts.Target+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "chaos proxy: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "chaos proxy: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "chaos proxy: upstream body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	if fault == faultKill {
+		p.opts.Logf("chaos: kill mid-response %s %s (%d of %d bytes)", r.Method, r.URL.Path, len(data)/2, len(data))
+		killMidResponse(w, resp, data)
+		return
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(data)
+}
+
+// sever hijacks the connection and closes it without any response — the
+// client sees a reset/EOF, as if the network ate the request.
+func sever(w http.ResponseWriter) {
+	h, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaostest: response writer is not hijackable")
+	}
+	conn, _, err := h.Hijack()
+	if err != nil {
+		return
+	}
+	_ = conn.Close()
+}
+
+// killMidResponse writes a response that promises the full body but
+// delivers only half of it, then severs — the mid-stream truncation a
+// dying peer produces.
+func killMidResponse(w http.ResponseWriter, resp *http.Response, data []byte) {
+	h, ok := w.(http.Hijacker)
+	if !ok {
+		panic("chaostest: response writer is not hijackable")
+	}
+	conn, buf, err := h.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(buf, "HTTP/1.1 %s\r\n", resp.Status)
+	ct := resp.Header.Get("Content-Type")
+	if ct != "" {
+		fmt.Fprintf(buf, "Content-Type: %s\r\n", ct)
+	}
+	fmt.Fprintf(buf, "Content-Length: %s\r\n\r\n", strconv.Itoa(len(data)))
+	_, _ = buf.Write(data[:len(data)/2])
+	_ = buf.Flush()
+}

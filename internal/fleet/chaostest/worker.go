@@ -1,0 +1,66 @@
+package chaostest
+
+import (
+	"context"
+	"log"
+	"os"
+	"os/exec"
+	"time"
+
+	"radcrit/internal/fleet"
+)
+
+// Env vars the re-exec'd test binary reads to become a worker process.
+const (
+	envWorkerBase = "RADCRIT_CHAOS_WORKER"
+	envWorkerName = "RADCRIT_CHAOS_NAME"
+	envThrottle   = "RADCRIT_CHAOS_THROTTLE"
+)
+
+// WorkerMain turns the current process into a fleet worker when the
+// chaos environment variables are set, and never returns in that case.
+// Call it first thing from a test package's TestMain:
+//
+//	func TestMain(m *testing.M) {
+//		chaostest.WorkerMain()
+//		os.Exit(m.Run())
+//	}
+//
+// SpawnWorker then re-execs the test binary with the variables set,
+// yielding a real OS process the test can SIGKILL mid-cell.
+func WorkerMain() {
+	base := os.Getenv(envWorkerBase)
+	if base == "" {
+		return
+	}
+	throttle, _ := time.ParseDuration(os.Getenv(envThrottle))
+	logger := log.New(os.Stderr, "chaos-worker: ", log.LstdFlags)
+	w := fleet.NewWorker(fleet.WorkerOptions{
+		Base:          base,
+		Name:          os.Getenv(envWorkerName),
+		Logf:          logger.Printf,
+		ThrottleChunk: throttle,
+	})
+	_ = w.Run(context.Background())
+	os.Exit(0)
+}
+
+// SpawnWorker re-execs the current (test) binary as a fleet worker
+// process pointed at base. throttle paces the worker's chunk flushes so
+// a test can reliably observe — and kill — it mid-cell. The caller owns
+// the process: Kill it (SIGKILL, no cleanup) or let cleanup reap it.
+func SpawnWorker(base, name string, throttle time.Duration, logTo *os.File) (*exec.Cmd, error) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		envWorkerBase+"="+base,
+		envWorkerName+"="+name,
+		envThrottle+"="+throttle.String(),
+	)
+	if logTo != nil {
+		cmd.Stdout, cmd.Stderr = logTo, logTo
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return cmd, nil
+}

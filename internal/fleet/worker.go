@@ -1,0 +1,406 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"radcrit/internal/campaign"
+	"radcrit/internal/injector"
+)
+
+// WorkerOptions configures one worker process (radcritd -worker).
+type WorkerOptions struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:8347".
+	Base string
+	// Name labels the worker in the coordinator's health output.
+	Name string
+	// Client is the HTTP client to use (nil = a default with a sane
+	// per-request timeout).
+	Client *http.Client
+	// Logf receives worker lifecycle lines (nil = silent).
+	Logf func(format string, args ...any)
+	// ThrottleChunk inserts a pause after every flushed chunk. Production
+	// leaves it zero; the chaos harness uses it to hold a cell in flight
+	// long enough to kill the worker mid-cell deterministically.
+	ThrottleChunk time.Duration
+}
+
+// Worker pulls leases from a coordinator and executes cells through the
+// same campaign primitives the daemon uses locally, heartbeating each
+// cell's checkpoint log back so a crash never costs more than one chunk.
+type Worker struct {
+	opts   WorkerOptions
+	client *http.Client
+	logf   func(string, ...any)
+
+	id        string
+	lease     time.Duration
+	heartbeat time.Duration
+	poll      time.Duration
+}
+
+// NewWorker builds a worker; Run drives it.
+func NewWorker(opts WorkerOptions) *Worker {
+	w := &Worker{opts: opts, client: opts.Client, logf: opts.Logf}
+	if w.client == nil {
+		w.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.logf == nil {
+		w.logf = func(string, ...any) {}
+	}
+	return w
+}
+
+// Run registers with the coordinator and processes leases until ctx is
+// cancelled. Transport failures — including a coordinator restart that
+// forgets the worker — are retried with jittered exponential backoff;
+// the only non-nil return is ctx's error.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := 250 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w.id == "" {
+			if err := w.register(ctx); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				w.logf("fleet worker: register: %v (retrying in %v)", err, backoff)
+				if !sleepCtx(ctx, jitter(backoff)) {
+					return ctx.Err()
+				}
+				backoff = min(backoff*2, maxBackoff)
+				continue
+			}
+			backoff = 250 * time.Millisecond
+		}
+		item, status, err := w.pollLease(ctx)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("fleet worker %s: lease poll: %v (retrying in %v)", w.id, err, backoff)
+			if !sleepCtx(ctx, jitter(backoff)) {
+				return ctx.Err()
+			}
+			backoff = min(backoff*2, maxBackoff)
+		case status == http.StatusNotFound:
+			// Coordinator restarted and forgot us: re-register.
+			w.logf("fleet worker %s: unknown to coordinator, re-registering", w.id)
+			w.id = ""
+		case item != nil:
+			backoff = 250 * time.Millisecond
+			w.runItem(ctx, item)
+		case status == http.StatusNoContent:
+			backoff = 250 * time.Millisecond
+			if !sleepCtx(ctx, jitter(w.poll)) {
+				return ctx.Err()
+			}
+		default:
+			// An unexpected status (a proxy-injected 5xx, a draining
+			// coordinator): transient, poll again after a backoff.
+			w.logf("fleet worker %s: lease poll: HTTP %d (retrying in %v)", w.id, status, backoff)
+			if !sleepCtx(ctx, jitter(backoff)) {
+				return ctx.Err()
+			}
+			backoff = min(backoff*2, maxBackoff)
+		}
+	}
+}
+
+func (w *Worker) register(ctx context.Context) error {
+	var resp RegisterResponse
+	status, err := w.postJSON(ctx, "/v1/fleet/workers", RegisterRequest{Name: w.opts.Name}, &resp)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("fleet: register: HTTP %d", status)
+	}
+	w.id = resp.Worker
+	w.lease = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+	w.heartbeat = time.Duration(resp.HeartbeatMillis) * time.Millisecond
+	w.poll = time.Duration(resp.PollMillis) * time.Millisecond
+	if w.heartbeat <= 0 {
+		w.heartbeat = time.Second
+	}
+	if w.poll <= 0 {
+		w.poll = 500 * time.Millisecond
+	}
+	w.logf("fleet worker %s: registered with %s (lease %v, heartbeat %v)", w.id, w.opts.Base, w.lease, w.heartbeat)
+	return nil
+}
+
+func (w *Worker) pollLease(ctx context.Context) (*WorkItem, int, error) {
+	var item WorkItem
+	status, err := w.postJSON(ctx, "/v1/fleet/lease?worker="+w.id, struct{}{}, &item)
+	if err != nil {
+		return nil, 0, err
+	}
+	if status == http.StatusOK {
+		return &item, status, nil
+	}
+	return nil, status, nil
+}
+
+// runItem executes one leased cell: resume from the item's checkpoint
+// log when present, heartbeat the growing log back on the coordinator's
+// cadence, and report the terminal outcome. A 410 from any heartbeat
+// means the lease is gone (expired, or a speculative twin finished
+// first) — the cell's context is cancelled and the result dropped.
+func (w *Worker) runItem(ctx context.Context, item *WorkItem) {
+	w.logf("fleet worker %s: lease %s: cell %s/%s from strike log of %d bytes",
+		w.id, item.Lease, item.Spec.Device, item.Spec.Kernel, len(item.Log))
+
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	buf := &logBuffer{}
+	tracker := &chunkTracker{buf: buf, throttle: w.opts.ThrottleChunk}
+
+	hb := time.Duration(item.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = w.heartbeat
+	}
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	leaseLost := false
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		// The log rides along only when a new chunk has flushed since the
+		// last acknowledged send: refreshes in between are a few bytes, so
+		// a fat checkpoint log can never crowd out the keep-alive cadence.
+		sent := 0
+		for {
+			select {
+			case <-cellCtx.Done():
+				return
+			case <-t.C:
+				strikes, log := buf.snapshot()
+				req := HeartbeatRequest{Strikes: strikes}
+				if strikes > sent {
+					req.Log = log
+				}
+				var resp HeartbeatResponse
+				status, err := w.postJSON(cellCtx, "/v1/fleet/leases/"+item.Lease+"/heartbeat", req, &resp)
+				switch {
+				case err != nil:
+					// Transient: the next tick retries; if the lease expires
+					// meanwhile the coordinator answers 410 below.
+				case status == http.StatusGone:
+					w.logf("fleet worker %s: lease %s gone, stopping cell", w.id, item.Lease)
+					leaseLost = true
+					cancel()
+					return
+				case status == http.StatusOK && req.Log != nil:
+					sent = strikes
+				}
+			}
+		}
+	}()
+
+	info, sum, runErr := w.executeCell(cellCtx, item, buf, tracker)
+	cancel()
+	hbWG.Wait()
+
+	switch {
+	case leaseLost:
+		return
+	case ctx.Err() != nil:
+		// Worker is shutting down mid-cell: hand the lease back with the
+		// best log so the cell requeues immediately instead of waiting out
+		// the lease TTL. Best effort — a SIGKILLed worker never gets here,
+		// and the TTL covers that.
+		strikes, log := buf.snapshot()
+		abandonCtx, acancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer acancel()
+		var resp HeartbeatResponse
+		_, _ = w.postJSON(abandonCtx, "/v1/fleet/leases/"+item.Lease+"/heartbeat",
+			HeartbeatRequest{Strikes: strikes, Log: log, Abandon: true}, &resp)
+		return
+	}
+
+	req := CompleteRequest{}
+	if runErr != nil {
+		req.Error = runErr.Error()
+	} else {
+		req.Info, req.Summary = &info, sum
+	}
+	w.complete(ctx, item, req)
+}
+
+// executeCell runs or resumes the leased cell. Sink order matters: on
+// the fresh path the CheckpointSink precedes the tracker, so a snapshot
+// never claims strikes its log does not cover. (On the resume path the
+// engine's internal checkpoint sink flushes last; a snapshot there may
+// lead log coverage by at most one chunk, which only ever costs a
+// requeued lease one extra chunk of re-execution — never correctness,
+// which rests on the log alone.)
+func (w *Worker) executeCell(ctx context.Context, item *WorkItem, buf *logBuffer, tracker *chunkTracker) (campaign.StreamInfo, *campaign.Summary, error) {
+	cfg, err := item.Cfg.EngineConfig()
+	if err != nil {
+		return campaign.StreamInfo{}, nil, err
+	}
+	cell, err := campaign.BuildCell(item.Spec)
+	if err != nil {
+		return campaign.StreamInfo{}, nil, err
+	}
+	if len(item.Log) > 0 {
+		return campaign.ResumePlanCell(ctx, bytes.NewReader(item.Log), buf, cell, cfg, item.Cfg.Thresholds, tracker)
+	}
+	info, err := campaign.CellInfo(cell.Dev, cell.Kern, cfg)
+	if err != nil {
+		return campaign.StreamInfo{}, nil, err
+	}
+	chk, err := campaign.NewCheckpointSink(buf, info, cfg.Seed)
+	if err != nil {
+		return campaign.StreamInfo{}, nil, err
+	}
+	info, sum, err := campaign.RunPlanCell(ctx, cell, cfg, item.Cfg.Thresholds, chk, tracker)
+	if err != nil {
+		return info, sum, err
+	}
+	return info, sum, chk.Close()
+}
+
+// complete reports the cell's outcome, retrying transient transport
+// failures; a 410 means a twin's result already won and ours is dropped.
+func (w *Worker) complete(ctx context.Context, item *WorkItem, req CompleteRequest) {
+	backoff := 200 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		var resp HeartbeatResponse
+		status, err := w.postJSON(ctx, "/v1/fleet/leases/"+item.Lease+"/complete", req, &resp)
+		switch {
+		case err == nil && status == http.StatusOK:
+			w.logf("fleet worker %s: lease %s complete", w.id, item.Lease)
+			return
+		case err == nil && status == http.StatusGone:
+			w.logf("fleet worker %s: lease %s superseded, result dropped", w.id, item.Lease)
+			return
+		case ctx.Err() != nil:
+			return
+		}
+		if !sleepCtx(ctx, jitter(backoff)) {
+			return
+		}
+		backoff *= 2
+	}
+	w.logf("fleet worker %s: lease %s: could not deliver result", w.id, item.Lease)
+}
+
+// postJSON is the worker's single HTTP primitive: POST in, decode out,
+// return the status code. Non-2xx statuses are returned, not errors —
+// the caller distinguishes protocol answers (204/404/410) from
+// transport failure.
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(w.opts.Base, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: decoding %s response: %w", path, err)
+		}
+		return resp.StatusCode, nil
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	return resp.StatusCode, nil
+}
+
+// logBuffer accumulates the cell's checkpoint log under a mutex so the
+// heartbeat goroutine can snapshot a consistent (strikes, log) pair
+// while the engine's consume loop appends.
+type logBuffer struct {
+	mu      sync.Mutex
+	data    []byte
+	flushed int
+}
+
+// Write implements io.Writer for the checkpoint stream.
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.data = append(b.data, p...)
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+func (b *logBuffer) setFlushed(n int) {
+	b.mu.Lock()
+	if n > b.flushed {
+		b.flushed = n
+	}
+	b.mu.Unlock()
+}
+
+func (b *logBuffer) snapshot() (int, []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushed, append([]byte(nil), b.data...)
+}
+
+// chunkTracker is a no-op Sink whose FlushChunk records the flushed
+// strike count (and optionally throttles, for the chaos harness).
+type chunkTracker struct {
+	buf      *logBuffer
+	throttle time.Duration
+}
+
+// Consume implements campaign.Sink (the tracker only cares about chunk
+// boundaries).
+func (t *chunkTracker) Consume(int, injector.Outcome) {}
+
+// FlushChunk implements campaign.ChunkFlusher.
+func (t *chunkTracker) FlushChunk(next int) {
+	t.buf.setFlushed(next)
+	if t.throttle > 0 {
+		time.Sleep(t.throttle)
+	}
+}
+
+// jitter spreads a backoff delay over [d/2, d) so synchronised workers
+// desynchronise instead of thundering together.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

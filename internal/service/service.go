@@ -108,7 +108,12 @@ type CellResult struct {
 	Cached bool `json:"cached,omitempty"`
 	// Resumed marks a summary completed from a checkpoint log after a
 	// daemon restart.
-	Resumed bool                 `json:"resumed,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+	// Remote marks a summary computed by a fleet worker; Worker names it.
+	// Observability only — remote summaries are byte-identical to local
+	// ones, which is exactly what the chaos suite pins.
+	Remote  bool                 `json:"remote,omitempty"`
+	Worker  string               `json:"worker,omitempty"`
 	Error   string               `json:"error,omitempty"`
 	Info    *campaign.StreamInfo `json:"info,omitempty"`
 	Summary *campaign.Summary    `json:"summary,omitempty"`
@@ -163,7 +168,12 @@ type StoreRecord struct {
 type Event struct {
 	// Type is "state" (job state change), "cell" (cell finished) or
 	// "chunk" (strike progress within a cell).
-	Type   string `json:"type"`
+	Type string `json:"type"`
+	// Seq orders the job's events (1, 2, 3, ...). The SSE handler emits
+	// it as the event id, and SubscribeFrom replays events after a given
+	// seq from the job's ring buffer — the server half of Last-Event-ID
+	// reconnect resume.
+	Seq    uint64 `json:"seq,omitempty"`
 	JobID  string `json:"job"`
 	State  State  `json:"state,omitempty"`
 	Cell   int    `json:"cell"`
@@ -172,6 +182,12 @@ type Event struct {
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 }
+
+// eventRingCap bounds the per-job replay ring behind Last-Event-ID
+// resume. A reconnecting client further behind than this still gets the
+// full status snapshot first, so nothing is ever wrong — only the replay
+// is best-effort.
+const eventRingCap = 512
 
 // Job is the manager's record of one submitted plan. All mutable fields
 // are guarded by the manager's mutex; handlers only ever see copies
@@ -194,6 +210,8 @@ type Job struct {
 	cancel     context.CancelFunc // non-nil while running
 	userCancel bool
 	heapIndex  int
+	eventSeq   uint64
+	events     []Event // ring of the last eventRingCap published events
 }
 
 // jobRecord is job.json: what survives a restart.
@@ -223,6 +241,13 @@ type Options struct {
 	// cell summaries live on in the store). Queued and running jobs are
 	// never pruned. <= 0 selects the default of 1024.
 	MaxJobs int
+	// Remote, when non-nil, offers each cell to a remote executor (the
+	// fleet coordinator) before running it locally. With a Remote set, a
+	// job's cells are dispatched concurrently — sharded across whatever
+	// workers the fleet has — while local fallback execution stays
+	// serialised per job, so a fleetless manager behaves exactly like the
+	// sequential one.
+	Remote RemoteRunner
 }
 
 // ErrNotFinished is returned by Result for a job still queued or running.
@@ -611,10 +636,30 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 // blocked on, when the subscriber lags. The returned function detaches
 // and closes the channel.
 func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	_, ch, unsub, err := m.SubscribeFrom(id, 0)
+	return ch, unsub, err
+}
+
+// SubscribeFrom is Subscribe with Last-Event-ID resume: events already
+// published with Seq > afterSeq are returned as a backlog (replayed from
+// the job's bounded ring — a subscriber further behind than the ring
+// reaches simply gets a shorter backlog, and should rely on a fresh
+// status snapshot instead), and the channel carries everything after.
+// afterSeq 0 asks for no replay.
+func (m *Manager) SubscribeFrom(id string, afterSeq uint64) ([]Event, <-chan Event, func(), error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.jobs[id]; !ok {
-		return nil, nil, ErrUnknownJob
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, nil, nil, ErrUnknownJob
+	}
+	var backlog []Event
+	if afterSeq > 0 {
+		for _, ev := range j.events {
+			if ev.Seq > afterSeq {
+				backlog = append(backlog, ev)
+			}
+		}
 	}
 	ch := make(chan Event, 256)
 	if m.subs[id] == nil {
@@ -629,10 +674,18 @@ func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
 			close(ch)
 		}
 	}
-	return ch, unsub, nil
+	return backlog, ch, unsub, nil
 }
 
 func (m *Manager) publishLocked(ev Event) {
+	if j, ok := m.jobs[ev.JobID]; ok {
+		j.eventSeq++
+		ev.Seq = j.eventSeq
+		j.events = append(j.events, ev)
+		if len(j.events) > eventRingCap {
+			j.events = j.events[len(j.events)-eventRingCap:]
+		}
+	}
 	for ch := range m.subs[ev.JobID] {
 		select {
 		case ch <- ev:
@@ -764,6 +817,11 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 
 	cfg := j.Plan.Config()
 	ts := j.Plan.EffectiveThresholds()
+	if m.opts.Remote != nil {
+		outcomes, stop := m.runCellsSharded(jctx, j, cfg, ts)
+		m.finishJob(j, outcomes, stop)
+		return
+	}
 	// Kernel construction (the golden simulations) happens here, under
 	// the job's context so a drain during construction still interrupts.
 	cells, err := j.Plan.BuildCtx(jctx)
@@ -771,6 +829,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		m.finishJob(j, nil, err)
 		return
 	}
+	var localMu sync.Mutex
 	var outcomes []CellResult
 	var stop error
 	for i := range cells {
@@ -778,7 +837,8 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 			stop = err
 			break
 		}
-		cr, err := m.runCell(jctx, j, i, cells[i], cfg, ts)
+		cell := cells[i]
+		cr, err := m.runCell(jctx, j, i, func() (campaign.Cell, error) { return cell, nil }, &localMu, cfg, ts)
 		if err != nil {
 			stop = err // only cancellation/interruption surfaces here
 			break
@@ -786,6 +846,53 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 		outcomes = append(outcomes, cr)
 	}
 	m.finishJob(j, outcomes, stop)
+}
+
+// runCellsSharded dispatches every cell of the job concurrently — the
+// fleet path. Remote execution is naturally parallel (each cell waits on
+// its own lease), while local fallback work is serialised through one
+// mutex so a fleetless or degraded job loads the host exactly like the
+// sequential path. Outcomes come back in plan order; a cell interrupted
+// by cancellation is simply absent (its durable record or checkpoint log
+// carries it across the requeue).
+func (m *Manager) runCellsSharded(jctx context.Context, j *Job, cfg campaign.Config, ts []float64) ([]CellResult, error) {
+	n := len(j.Plan.Cells)
+	results := make([]CellResult, n)
+	errs := make([]error, n)
+	var localMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var cell campaign.Cell
+			built := false
+			getCell := func() (campaign.Cell, error) {
+				if !built {
+					c, err := campaign.BuildCell(j.Plan.Cells[i])
+					if err != nil {
+						return campaign.Cell{}, err
+					}
+					cell, built = c, true
+				}
+				return cell, nil
+			}
+			results[i], errs[i] = m.runCell(jctx, j, i, getCell, &localMu, cfg, ts)
+		}(i)
+	}
+	wg.Wait()
+	var outcomes []CellResult
+	var stop error
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			if stop == nil {
+				stop = errs[i]
+			}
+			continue
+		}
+		outcomes = append(outcomes, results[i])
+	}
+	return outcomes, stop
 }
 
 // finishJob resolves the job's final (or re-queued) state.
@@ -864,11 +971,14 @@ func (m *Manager) setCellState(j *Job, i int, cs CellStatus, emit bool) {
 
 // runCell produces one cell's outcome: from the job's own durable record
 // (a previous incarnation finished it), from the content-addressed store
-// (any job anywhere computed an identical cell), by resuming a
-// checkpoint log (a previous incarnation was interrupted mid-cell), or
-// by running it fresh under a new checkpoint log. Only cancellation is
-// returned as an error; cell failures are recorded in the outcome.
-func (m *Manager) runCell(jctx context.Context, j *Job, i int, cell campaign.Cell, cfg campaign.Config, ts []float64) (CellResult, error) {
+// (any job anywhere computed an identical cell), remotely through the
+// fleet (when Options.Remote is set and has healthy workers), by resuming
+// a checkpoint log (a previous incarnation — local or remote — was
+// interrupted mid-cell), or by running it fresh under a new checkpoint
+// log. Local engine work is serialised through localMu so sharded
+// dispatch never oversubscribes the host. Only cancellation is returned
+// as an error; cell failures are recorded in the outcome.
+func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (campaign.Cell, error), localMu *sync.Mutex, cfg campaign.Config, ts []float64) (CellResult, error) {
 	spec := j.Plan.Cells[i]
 	total := cfg.Strikes
 	cr := CellResult{Spec: spec, Key: campaign.CellKey(spec, cfg, ts)}
@@ -905,19 +1015,59 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, cell campaign.Cel
 	var sum *campaign.Summary
 	var runErr error
 	resumed := false
-	if prev, err := os.ReadFile(logPath); err == nil && len(prev) > 0 {
-		resumed = true
-		info, sum, runErr = m.resumeCell(jctx, prev, logPath, cell, cfg, ts, relay)
-		if runErr != nil && !isCancellation(runErr) {
-			// The log could not be resumed (damaged beyond salvage, or it
-			// describes something else): discard it and run fresh rather
-			// than wedging the job forever.
-			_ = os.Remove(logPath)
-			resumed = false
-			info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+	ran := false
+
+	if m.opts.Remote != nil {
+		prev, _ := os.ReadFile(logPath)
+		res, rerr := m.opts.Remote.RunRemote(jctx, RemoteCell{
+			JobID: j.ID, Cell: i, Spec: spec, Cfg: cfg, Thresholds: ts, Key: cr.Key,
+			PrevLog:  prev,
+			Progress: relay.FlushChunk,
+			SaveLog:  func(log []byte) { _ = writeFileAtomic(logPath, log) },
+		})
+		switch {
+		case rerr == nil:
+			info, sum = res.Info, res.Summary
+			cr.Remote, cr.Worker = true, res.Worker
+			resumed = len(prev) > 0
+			ran = true
+		case errors.Is(rerr, ErrRemoteUnavailable):
+			// Degrade to local execution below. Any prefix a worker
+			// streamed before the fleet gave up is in the cell log, so the
+			// local run picks up from the last #CHK record.
+		case isCancellation(rerr):
+			runErr = rerr
+			ran = true
+		default:
+			// A worker's authoritative cell failure (the engine is
+			// deterministic — re-running elsewhere would fail identically).
+			runErr = rerr
+			ran = true
 		}
-	} else {
-		info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+	}
+
+	if !ran {
+		cell, cerr := getCell()
+		if cerr != nil {
+			runErr = cerr // construction failure: recorded as the cell's error
+		} else {
+			localMu.Lock()
+			if prev, err := os.ReadFile(logPath); err == nil && len(prev) > 0 {
+				resumed = true
+				info, sum, runErr = m.resumeCell(jctx, prev, logPath, cell, cfg, ts, relay)
+				if runErr != nil && !isCancellation(runErr) {
+					// The log could not be resumed (damaged beyond salvage, or it
+					// describes something else): discard it and run fresh rather
+					// than wedging the job forever.
+					_ = os.Remove(logPath)
+					resumed = false
+					info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+				}
+			} else {
+				info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+			}
+			localMu.Unlock()
+		}
 	}
 	cr.Resumed = resumed
 

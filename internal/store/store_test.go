@@ -135,6 +135,122 @@ func TestGCEvictsLRU(t *testing.T) {
 	}
 }
 
+// TestConcurrentPutGetGCStress hammers one store from concurrent
+// writers, readers, deleters and a GC loop — the full mutation surface
+// at once, under -race in CI. The invariants: a Get hit is never torn
+// (every value self-describes its key and is verified intact), no
+// operation errors, and a final over-cap GC still lands the store at or
+// under the cap with Stats agreeing.
+func TestConcurrentPutGetGCStress(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		keys    = 16
+		iters   = 120
+		valSize = 256
+	)
+	// value builds a self-checking entry: the key it belongs under,
+	// then deterministic padding derived from it.
+	value := func(key string, w, i int) []byte {
+		head := fmt.Sprintf("%s|%d|%d|", key, w, i)
+		pad := bytes.Repeat([]byte{'p'}, valSize-len(head))
+		return append([]byte(head), pad...)
+	}
+	checkIntact := func(key string, data []byte) error {
+		i := bytes.IndexByte(data, '|')
+		if i < 0 || string(data[:i]) != key {
+			return fmt.Errorf("entry under %s is torn or misfiled: %q...", key, data[:min(32, len(data))])
+		}
+		if len(data) != valSize {
+			return fmt.Errorf("entry under %s has %d bytes, want %d", key, len(data), valSize)
+		}
+		return nil
+	}
+
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	// Writers and readers over a shared key set.
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; i < iters; i++ {
+				key := testKey((w + i) % keys)
+				if err := s.Put(key, value(key, w, i)); err != nil {
+					errs <- err
+					return
+				}
+				if data, ok := s.Get(key); ok {
+					if err := checkIntact(key, data); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if i%17 == 0 {
+					if err := s.Delete(testKey(i % keys)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	// A GC loop squeezing the store the whole time, alternating a cap
+	// that forces eviction with one that exercises the O(1) fast path.
+	go func() {
+		caps := []int64{keys * valSize / 4, keys * valSize * 4}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				errs <- nil
+				return
+			default:
+			}
+			if _, _, err := s.GC(caps[i%len(caps)]); err != nil {
+				errs <- err
+				return
+			}
+			if _, _, err := s.Stats(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesced: a final tight GC must land under the cap and agree with
+	// Stats, proving the running size total survived the storm.
+	const cap = 4 * valSize
+	if _, _, err := s.GC(cap); err != nil {
+		t.Fatal(err)
+	}
+	entries, size, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size > cap {
+		t.Fatalf("after final GC store holds %d bytes across %d entries, want <= %d", size, entries, cap)
+	}
+	// Every surviving entry must still read back intact.
+	for i := 0; i < keys; i++ {
+		key := testKey(i)
+		if data, ok := s.Get(key); ok {
+			if err := checkIntact(key, data); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
 func TestConcurrentPutGet(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {
