@@ -45,6 +45,8 @@ func main() {
 	stream := flag.Bool("stream", false, "use the bounded-memory streaming engine for aggregate artifacts")
 	maxPoints := flag.Int("maxpoints", 4096, "scatter reservoir size per input in -stream mode")
 	planPath := flag.String("plan", "", "JSON plan `file` supplying seed/strikes/workers/facility")
+	var adaptiveF cli.AdaptiveFlags
+	adaptiveF.Bind(flag.CommandLine)
 	var prof cli.ProfileFlags
 	prof.Bind(flag.CommandLine)
 	var submit cli.SubmitFlags
@@ -63,12 +65,20 @@ func main() {
 		if err != nil {
 			cli.Fatal("figures", "%v", err)
 		}
+		// The daemon honours early stopping per cell, so the adaptive
+		// flags ride along in client mode.
+		if err := adaptiveF.Apply(plan); err != nil {
+			cli.Fatal("figures", "%v", err)
+		}
 		res, err := submit.Run(context.Background(), plan)
 		if err != nil {
 			cli.Fatal("figures", "%v", err)
 		}
 		cli.PrintJobSummaries(os.Stdout, res)
 		return
+	}
+	if adaptiveF.Active() {
+		fmt.Fprintln(os.Stderr, "figures: the adaptive flags only apply in -submit mode; local artifact generation uses fixed budgets so every figure reads the full strike count")
 	}
 	if err := prof.Start(); err != nil {
 		cli.Fatal("figures", "start profiling: %v", err)
@@ -90,6 +100,10 @@ func main() {
 			cli.Fatal("figures", "%v", err)
 		}
 		cfg = plan.Config()
+		if cfg.Adaptive != nil {
+			fmt.Fprintln(os.Stderr, "figures: ignoring the plan's adaptive spec; local artifact generation uses fixed budgets")
+			cfg.Adaptive = nil
+		}
 	}
 
 	want := map[string]bool{}

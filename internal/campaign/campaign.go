@@ -77,7 +77,19 @@ type Config struct {
 	// outcomes are consumed in strike-index order whatever the chunking —
 	// it only sets the flush/checkpoint granularity and the engine's peak
 	// outcome memory, so it too is excluded from the memo-cache key.
+	//
+	// One carve-out: when Adaptive is set with CheckEvery == 0, the look
+	// spacing defaults to the effective chunk, and the look schedule DOES
+	// change where a cell stops. The resolved spacing (not StreamChunk
+	// itself) is what enters CellKey.
 	StreamChunk int
+	// Adaptive, when non-nil, enables sequential early stopping: the
+	// streaming engine evaluates Adaptive's stop rule at every chunk
+	// boundary and ends the cell once its SDC-proportion confidence
+	// interval is tight enough (DESIGN.md §11). The batch engine and its
+	// memo cache ignore it entirely — batch cells always run their full
+	// budget — so Run/RunCtx results are unaffected.
+	Adaptive *AdaptiveSpec
 }
 
 // DefaultConfig returns the standard campaign configuration.

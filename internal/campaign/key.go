@@ -61,6 +61,21 @@ func cellKeyPayload(spec CellSpec, cfg Config, thresholds []float64) string {
 		b.WriteString(strconv.FormatFloat(t, 'x', -1, 64))
 	}
 	b.WriteByte('\n')
+	// An adaptive spec changes where a cell stops, so it is part of the
+	// result's identity. The line is appended only when a spec is present:
+	// every pre-adaptive key (and its persisted store entry) is unchanged.
+	// The spec is keyed in normalized form so "CheckEvery: 0" under a
+	// 50-strike chunk and an explicit "CheckEvery: 50" — identical stop
+	// schedules — share one key. MaxEpochs is deliberately absent: it
+	// bounds AdaptiveRunner's reallocation rounds and never affects a
+	// single cell's summary at a given budget.
+	if cfg.Adaptive != nil {
+		a := cfg.Adaptive.normalized(cfg.effectiveChunk())
+		fmt.Fprintf(&b, "adaptive=%s,%d,%d,%s\n",
+			strconv.FormatFloat(a.TargetHalfWidth, 'x', -1, 64),
+			a.MinStrikes, a.CheckEvery,
+			strconv.FormatFloat(a.Alpha, 'x', -1, 64))
+	}
 	return b.String()
 }
 

@@ -57,6 +57,12 @@ type Plan struct {
 	// Facility names the neutron source ("LANSCE" or "ISIS"; empty =
 	// LANSCE).
 	Facility string `json:"facility,omitempty"`
+	// Adaptive, when present, enables sequential early stopping: cells end
+	// as soon as their SDC confidence interval reaches the target
+	// half-width, and AdaptiveRunner reallocates the freed strikes. Absent
+	// (nil) means every cell runs its full budget, byte-identical to plans
+	// predating this field.
+	Adaptive *AdaptiveSpec `json:"adaptive,omitempty"`
 }
 
 // NewPlan starts a fluent plan under the given seed and strike budget:
@@ -120,6 +126,12 @@ func (p *Plan) WithBaseExecSeconds(s float64) *Plan {
 	return p
 }
 
+// WithAdaptive enables sequential early stopping under the given spec.
+func (p *Plan) WithAdaptive(a AdaptiveSpec) *Plan {
+	p.Adaptive = &a
+	return p
+}
+
 // facilities are the neutron sources addressable from a plan.
 var facilities = map[string]beam.Facility{
 	"":       beam.LANSCE,
@@ -169,6 +181,11 @@ func (p *Plan) Validate() error {
 	if _, err := FacilityByName(p.Facility); err != nil {
 		return fmt.Errorf("plan %q: %v", p.Name, err)
 	}
+	if p.Adaptive != nil {
+		if err := p.Adaptive.validate(); err != nil {
+			return fmt.Errorf("plan %q: adaptive: %v", p.Name, err)
+		}
+	}
 	for i, c := range p.Cells {
 		if err := registry.ValidateDevice(c.Device); err != nil {
 			return fmt.Errorf("plan %q: cell %d: %w", p.Name, i, err)
@@ -191,7 +208,7 @@ func (p *Plan) Config() Config {
 	if base == 0 {
 		base = 1.0
 	}
-	return Config{
+	cfg := Config{
 		Seed:            p.Seed,
 		Strikes:         p.Strikes,
 		BaseExecSeconds: base,
@@ -199,6 +216,11 @@ func (p *Plan) Config() Config {
 		Workers:         p.Workers,
 		StreamChunk:     p.StreamChunk,
 	}
+	if p.Adaptive != nil {
+		a := *p.Adaptive
+		cfg.Adaptive = &a
+	}
+	return cfg
 }
 
 // EffectiveThresholds returns the thresholds a Runner summarises under:

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"radcrit/internal/fit"
@@ -198,8 +199,22 @@ func runBatchCell(ctx context.Context, cell Cell, cfg Config, ts []float64, out 
 	out.Summary = batchSummary(res, ts)
 }
 
+// rejectAdaptive refuses adaptive plans on the batch engines: the memo
+// cache and retained-report path always run a cell's full budget, so
+// silently ignoring the spec would quietly spend the strikes the plan
+// asked to save.
+func rejectAdaptive(p *Plan, engine string) error {
+	if p != nil && p.Adaptive != nil {
+		return fmt.Errorf("campaign: plan %q has an adaptive spec; the %s engine cannot stop early — use StreamRunner or AdaptiveRunner", p.Name, engine)
+	}
+	return nil
+}
+
 // Run implements Runner.
 func (r *BatchRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
+	if err := rejectAdaptive(p, "batch"); err != nil {
+		return nil, err
+	}
 	res, cells, err := planStart(ctx, p)
 	if err != nil {
 		// res is non-nil (with cells marked) for build-phase cancellation,
@@ -225,6 +240,9 @@ func (r *BatchRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
 
 // Run implements Runner.
 func (r *MatrixRunner) Run(ctx context.Context, p *Plan) (*PlanResult, error) {
+	if err := rejectAdaptive(p, "matrix"); err != nil {
+		return nil, err
+	}
 	res, cells, err := planStart(ctx, p)
 	if err != nil {
 		// res is non-nil (with cells marked) for build-phase cancellation,

@@ -103,18 +103,45 @@ func (a *SummaryAccumulator) Summary(info StreamInfo) *Summary {
 // On cancellation the returned info is rescaled to the chunk-aligned
 // prefix actually consumed and the partial summary over that prefix is
 // returned alongside ctx.Err(); on any other error the summary is nil.
+//
+// When cfg.Adaptive is set the cell may stop early: the stop rule is
+// evaluated at every chunk boundary (the stream chunk is forced to the
+// look spacing), and a rule-triggered stop is a COMPLETION, not an error
+// — the info and summary come back rescaled to the stop point with a nil
+// error, and an #EPOCH record lands in any EpochRecorder among the extra
+// sinks. Callers distinguish "stopped early" from "ran the budget" by
+// Info.Strikes, never by the error.
 func RunPlanCell(ctx context.Context, cell Cell, cfg Config, thresholds []float64, extra ...Sink) (StreamInfo, *Summary, error) {
+	cfg, rule, adaptive := adaptiveConfig(cfg)
 	acc := NewSummaryAccumulator(thresholds)
-	sinks := make([]Sink, 0, len(extra)+1)
+	sinks := make([]Sink, 0, len(extra)+2)
 	sinks = append(sinks, acc)
 	sinks = append(sinks, extra...)
-	info, err := RunStreamingCtx(ctx, cell.Dev, cell.Kern, cfg, sinks...)
+	runCtx := ctx
+	var es *earlyStopSink
+	if adaptive {
+		var cancel context.CancelCauseFunc
+		runCtx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+		es = &earlyStopSink{rule: rule, cancel: cancel}
+		sinks = append(sinks, es) // last: checkpoints flush before the stop
+	}
+	info, err := RunStreamingCtx(runCtx, cell.Dev, cell.Kern, cfg, sinks...)
+	if adaptive && es.stopped && ctx.Err() == nil {
+		// The stop rule cancelled, not the caller: the cell is complete at
+		// its chunk-aligned stop point.
+		err = nil
+	}
 	if err != nil {
 		if isCancellation(err) {
 			info = prefixInfo(info, acc.Consumed())
 			return info, acc.Summary(info), err
 		}
 		return info, nil, err
+	}
+	if adaptive {
+		recordEpoch(sinks, es.mark(1, cfg.Strikes, acc.Consumed()))
+		info = prefixInfo(info, acc.Consumed())
 	}
 	return info, acc.Summary(info), nil
 }
@@ -152,7 +179,17 @@ func ResumePlanCell(ctx context.Context, truncated io.Reader, w io.Writer, cell 
 // summarising), then re-run the uncovered tail with acc, the extra sinks
 // and the new checkpoint log attached. The #END trailer is written only
 // on full completion, so an interrupted resume leaves w resumable.
+// Under an adaptive cfg the salvaged prefix is re-judged exactly as the
+// original run judged it: the replayed events seed the stop rule's SDC
+// count, salvaged #EPOCH marks are re-emitted at their original positions
+// (the parsers' count-consistency checks demand it), the salvage point
+// itself is evaluated as a look — a run whose stop decision was made but
+// whose log tore before recording it stops again without re-running
+// anything — and the re-run tail evaluates live at every boundary. The
+// decisions are pure functions of (SDC, trials), so the resumed cell
+// stops where the uninterrupted one did.
 func resumeStreaming(ctx context.Context, w io.Writer, truncated io.Reader, dev arch.Device, kern kernels.Kernel, cfg Config, acc *SummaryAccumulator, extra []Sink) (StreamInfo, error) {
+	cfg, rule, adaptive := adaptiveConfig(cfg)
 	res, err := logdata.ParseResume(truncated)
 	if err != nil {
 		return StreamInfo{}, err
@@ -161,8 +198,13 @@ func resumeStreaming(ctx context.Context, w io.Writer, truncated io.Reader, dev 
 	if err != nil {
 		return StreamInfo{}, err
 	}
+	// Header fields are serialised space-escaped and the escaping is lossy
+	// (logdata.HeaderField), so the live metadata is escaped before the
+	// comparison — the parsed side cannot be unescaped.
 	if res.Log.Device != "" &&
-		(res.Log.Device != info.Device || res.Log.Kernel != info.Kernel || res.Log.Input != info.Input) {
+		(res.Log.Device != logdata.HeaderField(info.Device) ||
+			res.Log.Kernel != logdata.HeaderField(info.Kernel) ||
+			res.Log.Input != logdata.HeaderField(info.Input)) {
 		return info, fmt.Errorf("campaign: log describes %s/%s/%s, not %s/%s/%s",
 			res.Log.Device, res.Log.Kernel, res.Log.Input, info.Device, info.Kernel, info.Input)
 	}
@@ -174,17 +216,45 @@ func resumeStreaming(ctx context.Context, w io.Writer, truncated io.Reader, dev 
 	if err != nil {
 		return info, err
 	}
+	var es *earlyStopSink
+	if adaptive {
+		es = &earlyStopSink{rule: rule}
+	}
 	sink.sw.AddMasked(res.Masked)
 	if acc != nil {
 		acc.AddMasked(res.Masked)
 	}
+	// Replay events with the salvaged epoch marks interleaved where they
+	// originally stood: a mark at consumed c precedes the first event at
+	// strike index >= c, so every re-emitted #EPOCH still agrees with the
+	// cumulative SDC count at its position — the consistency both parsers
+	// enforce.
+	marks := res.Log.Epochs
 	for _, ev := range res.Log.Events {
+		for len(marks) > 0 && marks[0].Consumed <= ev.Exec {
+			if err := sink.RecordEpoch(marks[0]); err != nil {
+				return info, err
+			}
+			marks = marks[1:]
+		}
 		if err := sink.sw.WriteEvent(ev); err != nil {
 			return info, err
 		}
 		if acc != nil {
 			acc.ReplayEvent(ev, info.Profile.OutputDims)
 		}
+		if es != nil {
+			es.seed(ev)
+		}
+	}
+	for _, m := range marks {
+		if err := sink.RecordEpoch(m); err != nil {
+			return info, err
+		}
+	}
+	epoch := 1
+	if n := len(res.Log.Epochs); n > 0 {
+		epoch = res.Log.Epochs[n-1].Epoch + 1
 	}
 	if !res.Complete {
 		// Flush a checkpoint covering the replayed prefix before any tail
@@ -194,15 +264,55 @@ func resumeStreaming(ctx context.Context, w io.Writer, truncated io.Reader, dev 
 		if err := sink.sw.Checkpoint(res.Next); err != nil {
 			return info, err
 		}
-		sinks := make([]Sink, 0, len(extra)+2)
-		if acc != nil {
-			sinks = append(sinks, acc)
+		if es != nil {
+			// The salvage point is a look: a prefix that already satisfies
+			// the rule stops here, re-running nothing.
+			es.evaluate(res.Next)
 		}
-		sinks = append(sinks, extra...)
-		sinks = append(sinks, sink)
-		if _, err := RunStreamingFromCtx(ctx, dev, kern, cfg, res.Next, sinks...); err != nil {
-			return info, err
+		if es == nil || !es.stopped {
+			runCtx := ctx
+			if es != nil {
+				var cancel context.CancelCauseFunc
+				runCtx, cancel = context.WithCancelCause(ctx)
+				defer cancel(nil)
+				es.cancel = cancel
+			}
+			sinks := make([]Sink, 0, len(extra)+3)
+			if acc != nil {
+				sinks = append(sinks, acc)
+			}
+			sinks = append(sinks, extra...)
+			sinks = append(sinks, sink)
+			if es != nil {
+				sinks = append(sinks, es) // last: checkpoints flush first
+			}
+			if _, err := RunStreamingFromCtx(runCtx, dev, kern, cfg, res.Next, sinks...); err != nil {
+				if !(es != nil && es.stopped && ctx.Err() == nil) {
+					return info, err
+				}
+			}
 		}
+		if es != nil {
+			consumed := cfg.Strikes
+			if es.stopped {
+				consumed = es.stopAt
+			}
+			if err := sink.RecordEpoch(es.mark(epoch, cfg.Strikes, consumed)); err != nil {
+				return info, err
+			}
+		}
+	}
+	if adaptive {
+		// Rescale to the strikes the cell actually holds, so the caller's
+		// summary rates are true over the executed prefix: a complete log
+		// carries its own total; an early-stopped tail its stop point.
+		consumed := cfg.Strikes
+		if res.Complete {
+			consumed = res.Masked + len(res.Log.Events)
+		} else if es.stopped {
+			consumed = es.stopAt
+		}
+		info = prefixInfo(info, consumed)
 	}
 	return info, sink.Close()
 }

@@ -527,6 +527,11 @@ func (c *CheckpointSink) Consume(i int, out injector.Outcome) {
 // durable checkpoint.
 func (c *CheckpointSink) FlushChunk(next int) { c.sw.Checkpoint(next) }
 
+// RecordEpoch writes an adaptive #EPOCH budget record into the log next
+// to the checkpoint it annotates, implementing EpochRecorder. Like every
+// other write, errors are sticky and surface at Close.
+func (c *CheckpointSink) RecordEpoch(m logdata.EpochMark) error { return c.sw.WriteEpoch(m) }
+
 // Close writes the trailer and reports any write error seen on the way.
 func (c *CheckpointSink) Close() error { return c.sw.Close() }
 

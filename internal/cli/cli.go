@@ -166,6 +166,52 @@ func (c *CampaignFlags) ResolvePlan() (*campaign.Plan, error) {
 	return p, nil
 }
 
+// AdaptiveFlags are the shared early-stopping flags: a tool binds them
+// next to CampaignFlags and applies them to whatever plan it resolved.
+// Setting -adaptive-target turns the stop rule on; the rest refine it.
+type AdaptiveFlags struct {
+	Target     float64
+	MinStrikes int
+	CheckEvery int
+	Alpha      float64
+	MaxEpochs  int
+}
+
+// Bind registers the adaptive flags on fs.
+func (a *AdaptiveFlags) Bind(fs *flag.FlagSet) {
+	fs.Float64Var(&a.Target, "adaptive-target", a.Target,
+		"stop a cell once its SDC-probability confidence interval is this tight (half-width, e.g. 0.05); 0 disables early stopping")
+	fs.IntVar(&a.MinStrikes, "adaptive-min", a.MinStrikes,
+		"minimum strikes before a cell may stop early (0 = one check interval)")
+	fs.IntVar(&a.CheckEvery, "adaptive-every", a.CheckEvery,
+		"strikes between stop-rule checks (0 = the effective stream chunk)")
+	fs.Float64Var(&a.Alpha, "adaptive-alpha", a.Alpha,
+		"total error probability the confidence sequence spends across all checks (0 = default)")
+	fs.IntVar(&a.MaxEpochs, "adaptive-epochs", a.MaxEpochs,
+		"budget-reallocation rounds for adaptive campaign runs (0 = default)")
+}
+
+// Active reports whether the flags request early stopping.
+func (a *AdaptiveFlags) Active() bool { return a.Target != 0 }
+
+// Apply overlays the flags onto p: when -adaptive-target is set the
+// plan's spec is replaced outright (flags win over the plan file, like
+// every other flag/plan conflict resolves toward the explicit flag);
+// otherwise the plan is untouched and a plan-file spec stays in force.
+func (a *AdaptiveFlags) Apply(p *campaign.Plan) error {
+	if !a.Active() {
+		return nil
+	}
+	p.WithAdaptive(campaign.AdaptiveSpec{
+		TargetHalfWidth: a.Target,
+		MinStrikes:      a.MinStrikes,
+		CheckEvery:      a.CheckEvery,
+		Alpha:           a.Alpha,
+		MaxEpochs:       a.MaxEpochs,
+	})
+	return p.Validate()
+}
+
 // ProfileFlags are the shared profiling flags of the cmd/ tools, so perf
 // work starts from a pprof profile instead of guesswork:
 //

@@ -118,6 +118,48 @@ func TestBindRegistersFlags(t *testing.T) {
 	}
 }
 
+func TestAdaptiveFlags(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	var a AdaptiveFlags
+	a.Bind(fs)
+	err := fs.Parse([]string{
+		"-adaptive-target", "0.05", "-adaptive-min", "100",
+		"-adaptive-every", "50", "-adaptive-alpha", "0.01", "-adaptive-epochs", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Active() {
+		t.Fatal("flags set but Active() is false")
+	}
+	p := campaign.NewPlan(1, 200).WithCell("k40", "dgemm:128")
+	if err := a.Apply(p); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want := campaign.AdaptiveSpec{TargetHalfWidth: 0.05, MinStrikes: 100, CheckEvery: 50, Alpha: 0.01, MaxEpochs: 3}
+	if p.Adaptive == nil || *p.Adaptive != want {
+		t.Fatalf("plan spec %+v, want %+v", p.Adaptive, want)
+	}
+
+	// Inactive flags leave a plan-file spec in force.
+	var idle AdaptiveFlags
+	if idle.Active() {
+		t.Fatal("zero flags report active")
+	}
+	if err := idle.Apply(p); err != nil {
+		t.Fatalf("idle Apply: %v", err)
+	}
+	if p.Adaptive == nil || *p.Adaptive != want {
+		t.Fatalf("idle Apply modified the plan: %+v", p.Adaptive)
+	}
+
+	// A malformed target surfaces as a validation error.
+	bad := AdaptiveFlags{Target: 0.9}
+	if err := bad.Apply(campaign.NewPlan(1, 200).WithCell("k40", "dgemm:128")); err == nil {
+		t.Fatal("target 0.9 accepted (half-widths cannot exceed 0.5)")
+	}
+}
+
 func TestProfileFlags(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.out")

@@ -2,6 +2,7 @@ package chaostest
 
 import (
 	"context"
+	"hash/fnv"
 	"log"
 	"os"
 	"os/exec"
@@ -35,11 +36,17 @@ func WorkerMain() {
 	}
 	throttle, _ := time.ParseDuration(os.Getenv(envThrottle))
 	logger := log.New(os.Stderr, "chaos-worker: ", log.LstdFlags)
+	// Jitter is seeded from the worker name alone: chaos runs replay the
+	// same backoff schedule per worker, run after run, while distinct
+	// names still desynchronise from each other.
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(os.Getenv(envWorkerName)))
 	w := fleet.NewWorker(fleet.WorkerOptions{
 		Base:          base,
 		Name:          os.Getenv(envWorkerName),
 		Logf:          logger.Printf,
 		ThrottleChunk: throttle,
+		JitterSeed:    h.Sum64() | 1,
 	})
 	_ = w.Run(context.Background())
 	os.Exit(0)

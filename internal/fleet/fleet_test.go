@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"hash/fnv"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -88,8 +89,11 @@ func startWorker(t *testing.T, base, name string, throttle time.Duration, client
 	if testing.Verbose() {
 		logf = t.Logf
 	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
 	w := fleet.NewWorker(fleet.WorkerOptions{
 		Base: base, Name: name, Client: client, Logf: logf, ThrottleChunk: throttle,
+		JitterSeed: h.Sum64() | 1,
 	})
 	var wg sync.WaitGroup
 	wg.Add(1)

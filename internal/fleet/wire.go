@@ -56,11 +56,16 @@ type CellConfig struct {
 	Workers         int       `json:"workers,omitempty"`
 	StreamChunk     int       `json:"stream_chunk,omitempty"`
 	Thresholds      []float64 `json:"thresholds"`
+	// Adaptive carries the plan's early-stopping spec, when present. The
+	// stop rule is a pure function of (spec, outcome stream), so every
+	// worker — and any resumed tail on a different worker — makes the
+	// same stop decision at the same chunk boundary.
+	Adaptive *campaign.AdaptiveSpec `json:"adaptive,omitempty"`
 }
 
 // cellConfig flattens an engine config for the wire.
 func cellConfig(cfg campaign.Config, thresholds []float64) CellConfig {
-	return CellConfig{
+	c := CellConfig{
 		Seed:            cfg.Seed,
 		Strikes:         cfg.Strikes,
 		BaseExecSeconds: cfg.BaseExecSeconds,
@@ -69,6 +74,11 @@ func cellConfig(cfg campaign.Config, thresholds []float64) CellConfig {
 		StreamChunk:     cfg.StreamChunk,
 		Thresholds:      append([]float64(nil), thresholds...),
 	}
+	if cfg.Adaptive != nil {
+		a := *cfg.Adaptive
+		c.Adaptive = &a
+	}
+	return c
 }
 
 // EngineConfig reconstructs the campaign Config a worker runs under.
@@ -77,14 +87,19 @@ func (c CellConfig) EngineConfig() (campaign.Config, error) {
 	if err != nil {
 		return campaign.Config{}, fmt.Errorf("fleet: %w", err)
 	}
-	return campaign.Config{
+	cfg := campaign.Config{
 		Seed:            c.Seed,
 		Strikes:         c.Strikes,
 		BaseExecSeconds: c.BaseExecSeconds,
 		Facility:        fac,
 		Workers:         c.Workers,
 		StreamChunk:     c.StreamChunk,
-	}, nil
+	}
+	if c.Adaptive != nil {
+		a := *c.Adaptive
+		cfg.Adaptive = &a
+	}
+	return cfg, nil
 }
 
 // WorkItem is one leased cell: everything a worker needs to execute it

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"radcrit/internal/campaign"
+)
+
+// TestJitterSeeded: jitter draws from the worker's private seeded
+// stream — same seed, same schedule; distinct seeds, distinct schedules;
+// every draw inside [d/2, d].
+func TestJitterSeeded(t *testing.T) {
+	const d = 800 * time.Millisecond
+	draw := func(seed uint64, n int) []time.Duration {
+		w := NewWorker(WorkerOptions{JitterSeed: seed})
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = w.jitter(d)
+		}
+		return out
+	}
+	a, b := draw(41, 32), draw(41, 32)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, draw(42, 32)) {
+		t.Fatal("distinct seeds produced identical 32-draw schedules")
+	}
+	for i, v := range a {
+		if v < d/2 || v > d {
+			t.Fatalf("draw %d = %v outside [%v, %v]", i, v, d/2, d)
+		}
+	}
+	// Degenerate delays pass through untouched.
+	w := NewWorker(WorkerOptions{JitterSeed: 1})
+	if got := w.jitter(0); got != 0 {
+		t.Fatalf("jitter(0) = %v", got)
+	}
+	if got := w.jitter(-time.Second); got != -time.Second {
+		t.Fatalf("jitter(-1s) = %v", got)
+	}
+}
+
+// TestJitterSeedZeroDistinct: the production default (seed 0) derives a
+// per-worker seed, so even same-named workers get distinct streams.
+func TestJitterSeedZeroDistinct(t *testing.T) {
+	const d = 800 * time.Millisecond
+	a := NewWorker(WorkerOptions{Name: "w"})
+	time.Sleep(time.Microsecond) // distinct clock reads
+	b := NewWorker(WorkerOptions{Name: "w"})
+	same := true
+	for i := 0; i < 32; i++ {
+		if a.jitter(d) != b.jitter(d) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two seed-0 workers produced identical 32-draw schedules")
+	}
+}
+
+// TestCellConfigAdaptiveRoundTrip: the adaptive spec survives the wire —
+// flatten, marshal, unmarshal, reconstruct — bit for bit, and absent
+// specs stay absent (no "adaptive" key, nil on reconstruction).
+func TestCellConfigAdaptiveRoundTrip(t *testing.T) {
+	cfg := campaign.NewPlan(42, 300).WithCell("k40", "dgemm:128").Config()
+	cfg.Adaptive = &campaign.AdaptiveSpec{
+		TargetHalfWidth: 0.1, MinStrikes: 100, CheckEvery: 50, Alpha: 0.01, MaxEpochs: 4,
+	}
+	wire := cellConfig(cfg, []float64{0, 2})
+	blob, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CellConfig
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.EngineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Adaptive, cfg.Adaptive) {
+		t.Fatalf("adaptive spec mangled on the wire: %+v vs %+v", got.Adaptive, cfg.Adaptive)
+	}
+	if got.Adaptive == cfg.Adaptive {
+		t.Fatal("EngineConfig aliased the wire struct's spec pointer")
+	}
+
+	cfg.Adaptive = nil
+	blob, err = json.Marshal(cellConfig(cfg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonHasKey(t, blob, "adaptive") {
+		t.Fatalf("nil spec serialised an adaptive key: %s", blob)
+	}
+	var back2 CellConfig
+	if err := json.Unmarshal(blob, &back2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := back2.EngineConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Adaptive != nil {
+		t.Fatalf("nil spec came back non-nil: %+v", got2.Adaptive)
+	}
+}
+
+func jsonHasKey(t *testing.T, blob []byte, key string) bool {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := m[key]
+	return ok
+}

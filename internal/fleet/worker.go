@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
@@ -31,6 +32,11 @@ type WorkerOptions struct {
 	// leaves it zero; the chaos harness uses it to hold a cell in flight
 	// long enough to kill the worker mid-cell deterministically.
 	ThrottleChunk time.Duration
+	// JitterSeed seeds the worker's private backoff-jitter stream. Zero
+	// (the production default) derives a seed from the worker name and
+	// the clock, so same-named workers still desynchronise; tests set it
+	// for reproducible backoff schedules.
+	JitterSeed uint64
 }
 
 // Worker pulls leases from a coordinator and executes cells through the
@@ -40,6 +46,11 @@ type Worker struct {
 	opts   WorkerOptions
 	client *http.Client
 	logf   func(string, ...any)
+	// rng drives backoff jitter. It is private to the worker and only
+	// touched from Run's goroutine, so no lock — and no contention on
+	// (or pollution of) the process-global math/rand state, which the
+	// engine's determinism story must never depend on.
+	rng *rand.Rand
 
 	id        string
 	lease     time.Duration
@@ -56,6 +67,13 @@ func NewWorker(opts WorkerOptions) *Worker {
 	if w.logf == nil {
 		w.logf = func(string, ...any) {}
 	}
+	seed := opts.JitterSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(opts.Name))
+		seed = h.Sum64() ^ uint64(time.Now().UnixNano())
+	}
+	w.rng = rand.New(rand.NewSource(int64(seed)))
 	return w
 }
 
@@ -76,7 +94,7 @@ func (w *Worker) Run(ctx context.Context) error {
 					return ctx.Err()
 				}
 				w.logf("fleet worker: register: %v (retrying in %v)", err, backoff)
-				if !sleepCtx(ctx, jitter(backoff)) {
+				if !sleepCtx(ctx, w.jitter(backoff)) {
 					return ctx.Err()
 				}
 				backoff = min(backoff*2, maxBackoff)
@@ -91,7 +109,7 @@ func (w *Worker) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 			w.logf("fleet worker %s: lease poll: %v (retrying in %v)", w.id, err, backoff)
-			if !sleepCtx(ctx, jitter(backoff)) {
+			if !sleepCtx(ctx, w.jitter(backoff)) {
 				return ctx.Err()
 			}
 			backoff = min(backoff*2, maxBackoff)
@@ -104,14 +122,14 @@ func (w *Worker) Run(ctx context.Context) error {
 			w.runItem(ctx, item)
 		case status == http.StatusNoContent:
 			backoff = 250 * time.Millisecond
-			if !sleepCtx(ctx, jitter(w.poll)) {
+			if !sleepCtx(ctx, w.jitter(w.poll)) {
 				return ctx.Err()
 			}
 		default:
 			// An unexpected status (a proxy-injected 5xx, a draining
 			// coordinator): transient, poll again after a backoff.
 			w.logf("fleet worker %s: lease poll: HTTP %d (retrying in %v)", w.id, status, backoff)
-			if !sleepCtx(ctx, jitter(backoff)) {
+			if !sleepCtx(ctx, w.jitter(backoff)) {
 				return ctx.Err()
 			}
 			backoff = min(backoff*2, maxBackoff)
@@ -293,7 +311,7 @@ func (w *Worker) complete(ctx context.Context, item *WorkItem, req CompleteReque
 		case ctx.Err() != nil:
 			return
 		}
-		if !sleepCtx(ctx, jitter(backoff)) {
+		if !sleepCtx(ctx, w.jitter(backoff)) {
 			return
 		}
 		backoff *= 2
@@ -380,13 +398,16 @@ func (t *chunkTracker) FlushChunk(next int) {
 	}
 }
 
-// jitter spreads a backoff delay over [d/2, d) so synchronised workers
-// desynchronise instead of thundering together.
-func jitter(d time.Duration) time.Duration {
+// jitter spreads a backoff delay over [d/2, d] so synchronised workers
+// desynchronise instead of thundering together. It draws from the
+// worker's private stream: the old process-global math/rand source made
+// every co-resident worker (and anything else in the process calling
+// math/rand) share one lock and one schedule.
+func (w *Worker) jitter(d time.Duration) time.Duration {
 	if d <= 0 {
 		return d
 	}
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(w.rng.Int63n(int64(d/2)+1))
 }
 
 // sleepCtx sleeps for d or until ctx is done; it reports whether the

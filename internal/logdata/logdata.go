@@ -33,6 +33,29 @@ type Event struct {
 	Mismatches []metrics.Mismatch
 }
 
+// EpochMark is one adaptive-campaign budget-epoch record (an #EPOCH
+// line): the planned allocation the epoch ran under, where it actually
+// ended, and the stop rule's verdict there. Marks are an audit trail —
+// stop decisions are pure functions of (SDC, Consumed), so a replay
+// re-derives them from the events rather than trusting the mark — but
+// they let plan+log reconstruct the budget state machine byte for byte.
+type EpochMark struct {
+	// Epoch is the 1-based budget epoch index.
+	Epoch int
+	// Alloc is the strike budget the cell held during this epoch.
+	Alloc int
+	// Consumed is the chunk-aligned strike count where the epoch ended.
+	Consumed int
+	// SDC is the cumulative SDC count at Consumed (consistency-checked
+	// against the event body on parse, like #CHK counts).
+	SDC int
+	// HalfWidth is the confidence-sequence half-width at the decision.
+	HalfWidth float64
+	// Stopped reports that the stop rule fired: the cell is complete at
+	// Consumed even though Consumed < the plan budget.
+	Stopped bool
+}
+
 // Log is one campaign's record.
 type Log struct {
 	Device     string
@@ -49,6 +72,10 @@ type Log struct {
 	// without it a parsed log could not reconstruct the outcome tally.
 	Masked int
 	Events []Event
+	// Epochs holds the #EPOCH budget records of an adaptive campaign, in
+	// file order. Write ignores it (epoch records are positional and only
+	// the StreamWriter knows the positions); parsers populate it.
+	Epochs []EpochMark
 }
 
 // SDCCount returns the number of SDC events.
@@ -130,12 +157,49 @@ func writeEvent(bw *bufio.Writer, e Event) {
 	}
 }
 
+// writeEpoch emits one #EPOCH budget record. The half-width uses hex
+// floats like every float in the format, for bit-exact round trips.
+func writeEpoch(bw *bufio.Writer, m EpochMark) {
+	stopped := 0
+	if m.Stopped {
+		stopped = 1
+	}
+	fmt.Fprintf(bw, "#EPOCH epoch:%d alloc:%d consumed:%d sdc:%d hw:%s stopped:%d\n",
+		m.Epoch, m.Alloc, m.Consumed, m.SDC,
+		strconv.FormatFloat(m.HalfWidth, 'x', -1, 64), stopped)
+}
+
+// parseEpoch decodes an #EPOCH line's fields.
+func parseEpoch(kv map[string]string) (EpochMark, error) {
+	hw, err := strconv.ParseFloat(kv["hw"], 64)
+	if err != nil {
+		return EpochMark{}, fmt.Errorf("bad epoch half-width: %v", err)
+	}
+	return EpochMark{
+		Epoch:     atoi(kv["epoch"]),
+		Alloc:     atoi(kv["alloc"]),
+		Consumed:  atoi(kv["consumed"]),
+		SDC:       atoi(kv["sdc"]),
+		HalfWidth: hw,
+		Stopped:   kv["stopped"] == "1",
+	}, nil
+}
+
 // field sanitises a free-text field for the space-separated format.
 func field(s string) string {
 	if s == "" {
 		return "-"
 	}
 	return strings.ReplaceAll(s, " ", "_")
+}
+
+// HeaderField returns the sanitised form a free-text header field is
+// serialised in. The space→underscore escaping is lossy — Parse cannot
+// recover the original — so code comparing a parsed header against live
+// metadata must escape the live side with this function rather than
+// expect the parsed side to round-trip.
+func HeaderField(s string) string {
+	return field(s)
 }
 
 func unfield(s string) string {
@@ -216,6 +280,18 @@ func Parse(r io.Reader) (*Log, error) {
 			if atoi(kv["sdc"]) != l.SDCCount() || atoi(kv["due"]) != l.CrashHangCount() {
 				return nil, fmt.Errorf("logdata: line %d: checkpoint counts disagree with body", lineNo)
 			}
+			cur = nil
+		case "#EPOCH":
+			// Adaptive budget record: like #CHK, its cumulative SDC count
+			// must agree with the events seen so far.
+			m, err := parseEpoch(kv)
+			if err != nil {
+				return nil, fmt.Errorf("logdata: line %d: %v", lineNo, err)
+			}
+			if m.SDC != l.SDCCount() {
+				return nil, fmt.Errorf("logdata: line %d: epoch counts disagree with body", lineNo)
+			}
+			l.Epochs = append(l.Epochs, m)
 			cur = nil
 		case "#END":
 			// Consistency check against the trailer counts.

@@ -177,4 +177,23 @@ func TestSpacesInFields(t *testing.T) {
 	if !strings.Contains(got.Device, "NVIDIA") {
 		t.Fatalf("device mangled: %q", got.Device)
 	}
+	// The escaping is lossy: Parse yields the underscore form, and
+	// HeaderField is how callers map live metadata onto it.
+	if got.Device != HeaderField(l.Device) {
+		t.Fatalf("parsed device %q, HeaderField gives %q", got.Device, HeaderField(l.Device))
+	}
+}
+
+func TestHeaderField(t *testing.T) {
+	cases := map[string]string{
+		"":                 "-",
+		"grid 4":           "grid_4",
+		"NVIDIA Tesla K40": "NVIDIA_Tesla_K40",
+		"dgemm:128":        "dgemm:128",
+	}
+	for in, want := range cases {
+		if got := HeaderField(in); got != want {
+			t.Errorf("HeaderField(%q) = %q, want %q", in, got, want)
+		}
+	}
 }

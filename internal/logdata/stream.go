@@ -77,6 +77,17 @@ func (sw *StreamWriter) Checkpoint(next int) error {
 	return sw.setErr(sw.bw.Flush())
 }
 
+// WriteEpoch appends an #EPOCH budget record and flushes, like
+// Checkpoint: the record marks a durable decision point, so it must hit
+// the disk with the checkpoint it annotates.
+func (sw *StreamWriter) WriteEpoch(m EpochMark) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	writeEpoch(sw.bw, m)
+	return sw.setErr(sw.bw.Flush())
+}
+
 // Close appends the #END trailer and flushes. The writer must not be used
 // afterwards.
 func (sw *StreamWriter) Close() error {
@@ -205,6 +216,15 @@ scan:
 			res.Masked = atoi(kv["masked"])
 			mark = len(l.Events)
 			cur = nil
+		case "#EPOCH":
+			// Adaptive budget record: trusted only when its cumulative SDC
+			// count matches the events actually present, like #CHK.
+			m, err := parseEpoch(kv)
+			if err != nil || m.SDC != sdc {
+				break scan
+			}
+			l.Epochs = append(l.Epochs, m)
+			cur = nil
 		case "#END":
 			// Same defence for the trailer: only a count-consistent #END
 			// proves the campaign completed.
@@ -224,5 +244,16 @@ scan:
 	}
 	l.Events = l.Events[:mark]
 	l.Masked = res.Masked
+	if !res.Complete {
+		// Epoch records past the salvage point annotate work that is
+		// being discarded; keep only marks the trusted prefix covers.
+		kept := l.Epochs[:0]
+		for _, m := range l.Epochs {
+			if m.Consumed <= res.Next {
+				kept = append(kept, m)
+			}
+		}
+		l.Epochs = kept
+	}
 	return res, nil
 }

@@ -112,6 +112,100 @@ func TestParseResumeCheckpointSemantics(t *testing.T) {
 	}
 }
 
+// TestEpochRoundTrip pins the #EPOCH record through both parsers: the
+// streamed mark comes back bit-exact (hex-float half-width) from the
+// strict parser and from salvage.
+func TestEpochRoundTrip(t *testing.T) {
+	meta := fuzzSampleLog()
+	var sb strings.Builder
+	sw, err := NewStreamWriter(&sb, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.AddMasked(5)
+	if err := sw.WriteEvent(meta.Events[0]); err != nil { // one SDC
+		t.Fatal(err)
+	}
+	if err := sw.Checkpoint(50); err != nil {
+		t.Fatal(err)
+	}
+	mark := EpochMark{Epoch: 1, Alloc: 300, Consumed: 50, SDC: 1, HalfWidth: 0x1.91a7p-04, Stopped: true}
+	if err := sw.WriteEpoch(mark); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Epochs) != 1 || parsed.Epochs[0] != mark {
+		t.Fatalf("strict parse epochs = %+v, want [%+v]", parsed.Epochs, mark)
+	}
+
+	res, err := ParseResume(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("closed log not complete")
+	}
+	if len(res.Log.Epochs) != 1 || res.Log.Epochs[0] != mark {
+		t.Fatalf("salvage epochs = %+v, want [%+v]", res.Log.Epochs, mark)
+	}
+
+	// A count-inconsistent epoch is a hard error for the strict parser...
+	bad := strings.Replace(sb.String(), "sdc:1 hw:", "sdc:3 hw:", 1)
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Fatal("strict parser accepted an epoch disagreeing with the body")
+	}
+	// ...and a corrupt tail for salvage: the #CHK before it survives.
+	res2, err := ParseResume(strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Complete || len(res2.Log.Epochs) != 0 || res2.Next != 50 {
+		t.Fatalf("inconsistent epoch salvage: %+v epochs %+v", res2, res2.Log.Epochs)
+	}
+}
+
+// TestParseResumeDropsEpochPastSalvage: an epoch record annotating work
+// beyond the last trusted checkpoint is discarded with that work.
+func TestParseResumeDropsEpochPastSalvage(t *testing.T) {
+	meta := fuzzSampleLog()
+	var sb strings.Builder
+	sw, err := NewStreamWriter(&sb, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Checkpoint(50); err != nil {
+		t.Fatal(err)
+	}
+	keep := EpochMark{Epoch: 1, Alloc: 300, Consumed: 50, SDC: 0}
+	if err := sw.WriteEpoch(keep); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch at a checkpoint whose #CHK got damaged: the mark's consumed
+	// count points past the salvage point.
+	drop := EpochMark{Epoch: 2, Alloc: 300, Consumed: 100, SDC: 0}
+	if err := sw.WriteEpoch(drop); err != nil {
+		t.Fatal(err)
+	}
+	// No Close, no #CHK at 100: the log tears here.
+	res, err := ParseResume(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Next != 50 {
+		t.Fatalf("next = %d, want 50", res.Next)
+	}
+	if len(res.Log.Epochs) != 1 || res.Log.Epochs[0] != keep {
+		t.Fatalf("salvage epochs = %+v, want just %+v", res.Log.Epochs, keep)
+	}
+}
+
 // TestParseResumeTornTrailer pins the #END defences: a trailer torn
 // mid-line (still syntactically valid) must not mark the log complete,
 // and a complete-looking trailer whose counts disagree with the body is

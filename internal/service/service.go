@@ -396,7 +396,13 @@ func (m *Manager) markRestoredCells(j *Job) {
 			j.cells[i].Error = cr.Error
 		case cr.Summary != nil:
 			j.cells[i].State = "done"
+			// Info carries the true consumed count (an adaptive stop
+			// consumes fewer strikes than planned); Total covers records
+			// persisted before Info existed.
 			j.cells[i].Strikes = j.cells[i].Total
+			if cr.Info != nil {
+				j.cells[i].Strikes = cr.Info.Strikes
+			}
 			j.cells[i].Cached = cr.Cached
 			j.cells[i].Resumed = cr.Resumed
 		}
@@ -1113,7 +1119,13 @@ func cellStatusOf(cr *CellResult, total int) CellStatus {
 		cs.Error = cr.Error
 	} else {
 		cs.State = "done"
+		// An adaptively stopped cell consumes fewer strikes than planned;
+		// the recorded Info carries the true count. Total is the fallback
+		// for records persisted before Info existed.
 		cs.Strikes = total
+		if cr.Info != nil {
+			cs.Strikes = cr.Info.Strikes
+		}
 	}
 	return cs
 }

@@ -302,6 +302,77 @@ func TestTornLogRestart(t *testing.T) {
 	}
 }
 
+// TestAdaptiveJob submits a plan with an early-stopping spec: the job
+// completes with the cell's recorded strike count at the measured stop
+// point (100 of 300), the summary is byte-identical to a direct
+// RunPlanCell run of the same cell, and a resubmission is served from
+// the content-addressed store (the adaptive spec is key material).
+func TestAdaptiveJob(t *testing.T) {
+	adaptive := func() *campaign.Plan {
+		return campaign.NewPlan(42, 300).
+			Named("svc-adaptive").
+			WithCell("k40", "lavamd:4").
+			WithThresholds(0, 2).
+			WithWorkers(1).
+			WithAdaptive(campaign.AdaptiveSpec{TargetHalfWidth: 0.1, MinStrikes: 100, CheckEvery: 50})
+	}
+	plan := adaptive()
+	cells, err := plan.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInfo, wantSum, err := campaign.RunPlanCell(context.Background(), cells[0], plan.Config(), plan.EffectiveThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantInfo.Strikes != 100 {
+		t.Fatalf("reference run stopped at %d strikes, expected 100", wantInfo.Strikes)
+	}
+
+	m := newManager(t, t.TempDir())
+	m.Start()
+	defer drain(t, m)
+	s, err := m.Submit(adaptive(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitState(t, m, s.ID, StateDone)
+	if cs := snap.Cells[0]; cs.Strikes != 100 || cs.Total != 300 {
+		t.Fatalf("cell status %d/%d strikes, want 100/300", cs.Strikes, cs.Total)
+	}
+	jr, err := m.Result(s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(struct {
+		Info    *campaign.StreamInfo
+		Summary *campaign.Summary
+	}{jr.Cells[0].Info, jr.Cells[0].Summary})
+	wantJSON, _ := json.Marshal(struct {
+		Info    *campaign.StreamInfo
+		Summary *campaign.Summary
+	}{&wantInfo, wantSum})
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("adaptive job summary differs from direct run:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+
+	s2, err := m.Submit(adaptive(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := waitState(t, m, s2.ID, StateDone)
+	jr2, err := m.Result(s2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jr2.Cells[0].Cached {
+		t.Errorf("identical adaptive plan was not served from the store")
+	}
+	if cs := snap2.Cells[0]; cs.Strikes != 100 {
+		t.Errorf("cached adaptive cell status shows %d strikes, want 100", cs.Strikes)
+	}
+}
+
 // TestCancelRunning cancels a job mid-flight: it lands in cancelled with
 // its checkpoint logs removed, and a result document listing what
 // completed.

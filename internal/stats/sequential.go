@@ -1,0 +1,148 @@
+package stats
+
+import "math"
+
+// This file holds the sequential-analysis primitives behind adaptive
+// campaigns: an anytime-valid confidence sequence for the SDC
+// proportion, and the stop rule the campaign engine evaluates at chunk
+// boundaries.
+//
+// The construction is Wilson-with-alpha-spending. A fixed-z Wilson
+// interval is only valid when the sample size is chosen in advance;
+// peeking at the interval after every chunk and stopping the first time
+// it looks tight inflates the error rate without bound. The standard
+// repair is to give each look its own significance budget alpha_k with
+// sum(alpha_k) <= alpha, so by a union bound the probability that ANY
+// look's interval excludes the true proportion is at most alpha — the
+// intervals form a confidence sequence and stopping at any data-
+// dependent time keeps the coverage guarantee. We spend
+//
+//	alpha_k = alpha / (k*(k+1))        (sum over k >= 1 is exactly alpha)
+//
+// which front-loads the budget where campaigns actually stop: early
+// looks get most of it, and the critical value grows only slowly
+// (z_1 ~ 2.5, z_8 ~ 3.1 at alpha = 0.05).
+//
+// Everything here is a pure function of (successes, trials) — no
+// internal state, no clock — which is what makes stop decisions
+// replayable from a checkpoint log.
+
+// DefaultAlpha is the overall error budget a confidence sequence spends
+// across its looks when the caller does not choose one.
+const DefaultAlpha = 0.05
+
+// ZForAlpha returns the two-sided normal critical value for
+// significance alpha: P(|N(0,1)| >= z) = alpha. It returns +Inf for
+// alpha <= 0 and 0 for alpha >= 1.
+func ZForAlpha(alpha float64) float64 {
+	if alpha <= 0 {
+		return math.Inf(1)
+	}
+	if alpha >= 1 {
+		return 0
+	}
+	return math.Sqrt2 * math.Erfinv(1-alpha)
+}
+
+// ConfidenceSequence is an anytime-valid confidence sequence for a
+// binomial proportion: a family of Wilson intervals, one per look, whose
+// per-look significance levels sum to Alpha.
+type ConfidenceSequence struct {
+	// Alpha is the overall error budget. Values outside (0, 1) fall back
+	// to DefaultAlpha.
+	Alpha float64
+}
+
+func (c ConfidenceSequence) alpha() float64 {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return DefaultAlpha
+	}
+	return c.Alpha
+}
+
+// LookAlpha returns the significance budget spent at look k (1-based):
+// alpha / (k*(k+1)). Looks before the first are treated as look 1.
+func (c ConfidenceSequence) LookAlpha(k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	return c.alpha() / (float64(k) * float64(k+1))
+}
+
+// Bounds returns the look-k confidence interval for successes/trials.
+func (c ConfidenceSequence) Bounds(successes, trials, look int) (lo, hi float64) {
+	return WilsonInterval(successes, trials, ZForAlpha(c.LookAlpha(look)))
+}
+
+// HalfWidth returns half the width of the look-k interval.
+func (c ConfidenceSequence) HalfWidth(successes, trials, look int) float64 {
+	lo, hi := c.Bounds(successes, trials, look)
+	return (hi - lo) / 2
+}
+
+// StopRule is the early-stopping policy a campaign cell runs under: stop
+// once the confidence sequence's interval for the SDC proportion is
+// narrower than the target. The engine evaluates it only at chunk
+// boundaries, which keeps every decision a pure, replayable function of
+// the chunk-aligned (successes, trials) pairs a checkpoint log records.
+type StopRule struct {
+	// TargetHalfWidth is the interval half-width at which the cell has
+	// "converged". Zero or negative disables stopping (the rule still
+	// reports interval geometry).
+	TargetHalfWidth float64
+	// MinStrikes is the floor below which the rule never stops, however
+	// tight the interval — guards against lucky tiny samples.
+	MinStrikes int
+	// CheckEvery is the look spacing in strikes: look k covers trials in
+	// [k*CheckEvery, (k+1)*CheckEvery). The engine aligns its stream
+	// chunk to this so chunk boundaries are exactly the scheduled looks.
+	CheckEvery int
+	// Alpha is the overall error budget (DefaultAlpha when unset).
+	Alpha float64
+}
+
+// Decision is one evaluation of a StopRule at a chunk boundary.
+type Decision struct {
+	// Look is the 1-based look index the boundary mapped to.
+	Look int
+	// Lo, Hi bound the SDC proportion at this look's confidence.
+	Lo, Hi float64
+	// HalfWidth is (Hi-Lo)/2, the quantity the target is tested against.
+	HalfWidth float64
+	// Stop reports that the target was met at or past MinStrikes.
+	Stop bool
+}
+
+// Evaluate judges the boundary at `trials` consumed strikes with
+// `successes` observed events. ok is false before the first look
+// (trials < CheckEvery) or when no look schedule is configured. The
+// look index is trials/CheckEvery, so a boundary reached through any
+// interruption/resume history maps to the same look — decisions depend
+// only on (successes, trials), never on how execution was sliced.
+func (r StopRule) Evaluate(successes, trials int) (d Decision, ok bool) {
+	if r.CheckEvery <= 0 || trials < r.CheckEvery {
+		return Decision{}, false
+	}
+	d.Look = trials / r.CheckEvery
+	cs := ConfidenceSequence{Alpha: r.Alpha}
+	d.Lo, d.Hi = cs.Bounds(successes, trials, d.Look)
+	d.HalfWidth = (d.Hi - d.Lo) / 2
+	d.Stop = r.TargetHalfWidth > 0 && trials >= r.MinStrikes && d.HalfWidth <= r.TargetHalfWidth
+	return d, true
+}
+
+// HalfWidthAt reports the interval half-width at an arbitrary trial
+// count, off the look schedule — the adaptive runner ranks open cells
+// by this when reallocating freed strikes. It never gates on MinStrikes
+// or the target.
+func (r StopRule) HalfWidthAt(successes, trials int) float64 {
+	every := r.CheckEvery
+	if every <= 0 {
+		every = 1
+	}
+	look := trials / every
+	if look < 1 {
+		look = 1
+	}
+	return ConfidenceSequence{Alpha: r.Alpha}.HalfWidth(successes, trials, look)
+}

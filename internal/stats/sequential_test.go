@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZForAlpha(t *testing.T) {
+	// Classic two-sided critical values.
+	cases := []struct{ alpha, want float64 }{
+		{0.05, 1.9599639845},
+		{0.01, 2.5758293035},
+		{0.001, 3.2905267314},
+	}
+	for _, c := range cases {
+		if got := ZForAlpha(c.alpha); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("ZForAlpha(%v) = %v, want %v", c.alpha, got, c.want)
+		}
+	}
+	if !math.IsInf(ZForAlpha(0), 1) || !math.IsInf(ZForAlpha(-1), 1) {
+		t.Error("alpha <= 0 should demand an infinite critical value")
+	}
+	if ZForAlpha(1) != 0 || ZForAlpha(2) != 0 {
+		t.Error("alpha >= 1 should demand no critical value")
+	}
+}
+
+func TestConfidenceSequenceSpendsAlpha(t *testing.T) {
+	cs := ConfidenceSequence{Alpha: 0.05}
+	var spent float64
+	for k := 1; k <= 100000; k++ {
+		a := cs.LookAlpha(k)
+		if a <= 0 {
+			t.Fatalf("look %d got non-positive budget %v", k, a)
+		}
+		spent += a
+	}
+	// sum_{k>=1} 1/(k(k+1)) telescopes to 1, so the spend approaches
+	// Alpha from below and never exceeds it.
+	if spent > 0.05 {
+		t.Fatalf("spent %v > alpha", spent)
+	}
+	if spent < 0.0499 {
+		t.Fatalf("spend %v should approach alpha", spent)
+	}
+	// Defaults kick in for out-of-range alphas.
+	if (ConfidenceSequence{}).LookAlpha(1) != DefaultAlpha/2 {
+		t.Error("zero Alpha should fall back to DefaultAlpha")
+	}
+}
+
+func TestConfidenceSequenceWidensWithLooks(t *testing.T) {
+	cs := ConfidenceSequence{Alpha: 0.05}
+	// Same data, later look => more spending pressure => wider interval.
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		hw := cs.HalfWidth(30, 100, k)
+		if hw <= prev {
+			t.Fatalf("look %d half-width %v not wider than look %d's %v", k, hw, k-1, prev)
+		}
+		prev = hw
+	}
+	// And wider than the fixed-z Wilson interval it generalizes.
+	lo, hi := WilsonInterval(30, 100, ZForAlpha(0.05))
+	if cs.HalfWidth(30, 100, 1) <= (hi-lo)/2 {
+		t.Error("look-1 interval should be wider than the fixed-sample interval")
+	}
+}
+
+func TestStopRuleEvaluate(t *testing.T) {
+	rule := StopRule{TargetHalfWidth: 0.1, MinStrikes: 100, CheckEvery: 50, Alpha: 0.05}
+
+	if _, ok := rule.Evaluate(0, 0); ok {
+		t.Error("no look before CheckEvery trials")
+	}
+	if _, ok := rule.Evaluate(3, 49); ok {
+		t.Error("no look before CheckEvery trials")
+	}
+	if _, ok := (StopRule{TargetHalfWidth: 0.1}).Evaluate(10, 100); ok {
+		t.Error("no look schedule without CheckEvery")
+	}
+
+	// Look indices derive from trials alone.
+	d, ok := rule.Evaluate(7, 50)
+	if !ok || d.Look != 1 {
+		t.Fatalf("trials=50: look %d ok=%v, want look 1", d.Look, ok)
+	}
+	d, ok = rule.Evaluate(7, 150)
+	if !ok || d.Look != 3 {
+		t.Fatalf("trials=150: look %d ok=%v, want look 3", d.Look, ok)
+	}
+	// Off-schedule boundaries (a resumed tail's partial chunk) still map
+	// to a well-defined look.
+	d, ok = rule.Evaluate(7, 130)
+	if !ok || d.Look != 2 {
+		t.Fatalf("trials=130: look %d ok=%v, want look 2", d.Look, ok)
+	}
+
+	// MinStrikes gates stopping but not geometry.
+	d, _ = rule.Evaluate(0, 50)
+	if d.Stop {
+		t.Error("stopped below MinStrikes")
+	}
+	if d.HalfWidth <= 0 {
+		t.Error("gated decision should still carry geometry")
+	}
+
+	// A tight proportion at enough trials stops; a 50/50 one does not.
+	d, _ = rule.Evaluate(2, 200)
+	if !d.Stop {
+		t.Errorf("2/200 half-width %v should beat target 0.1", d.HalfWidth)
+	}
+	d, _ = rule.Evaluate(100, 200)
+	if d.Stop {
+		t.Errorf("100/200 half-width %v should not beat target 0.1", d.HalfWidth)
+	}
+
+	// Zero target disables stopping entirely.
+	free := StopRule{MinStrikes: 0, CheckEvery: 50}
+	d, _ = free.Evaluate(0, 10000)
+	if d.Stop {
+		t.Error("zero target must never stop")
+	}
+}
+
+func TestStopRuleDecisionIsPure(t *testing.T) {
+	// Replayability hinges on Evaluate being a pure function of
+	// (successes, trials): same inputs, bit-identical decision.
+	rule := StopRule{TargetHalfWidth: 0.08, MinStrikes: 50, CheckEvery: 25, Alpha: 0.05}
+	f := func(s, n uint16) bool {
+		trials := int(n%2000) + 1
+		successes := int(s) % (trials + 1)
+		d1, ok1 := rule.Evaluate(successes, trials)
+		d2, ok2 := rule.Evaluate(successes, trials)
+		return ok1 == ok2 &&
+			math.Float64bits(d1.Lo) == math.Float64bits(d2.Lo) &&
+			math.Float64bits(d1.Hi) == math.Float64bits(d2.Hi) &&
+			math.Float64bits(d1.HalfWidth) == math.Float64bits(d2.HalfWidth) &&
+			d1.Stop == d2.Stop && d1.Look == d2.Look
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopRuleHalfWidthAt(t *testing.T) {
+	rule := StopRule{TargetHalfWidth: 0.1, MinStrikes: 100, CheckEvery: 50}
+	// On-schedule, HalfWidthAt agrees with Evaluate exactly.
+	d, _ := rule.Evaluate(30, 150)
+	if hw := rule.HalfWidthAt(30, 150); math.Float64bits(hw) != math.Float64bits(d.HalfWidth) {
+		t.Errorf("HalfWidthAt = %v, Evaluate says %v", hw, d.HalfWidth)
+	}
+	// Below the first look it still ranks (look clamps to 1).
+	if hw := rule.HalfWidthAt(3, 10); !(hw > 0 && hw <= 0.5) {
+		t.Errorf("pre-look half-width %v out of range", hw)
+	}
+	// More data at the same proportion tightens the ranking.
+	if !(rule.HalfWidthAt(60, 300) < rule.HalfWidthAt(20, 100)) {
+		t.Error("more trials at equal proportion should rank tighter")
+	}
+}

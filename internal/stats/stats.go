@@ -75,12 +75,27 @@ func Sum(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
 // interpolation between closest ranks. It returns 0 for an empty slice.
+//
+// NaN contract: NaN observations are stripped before ranking
+// (sort.Float64s leaves NaN placement undefined, which would make the
+// result depend on the input order). A non-empty slice containing only
+// NaNs returns NaN, as does a NaN p: there is no rank to interpolate.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
@@ -127,12 +142,30 @@ func Pearson(xs, ys []float64) float64 {
 // WilsonInterval returns the Wilson score interval for an observed
 // proportion of successes/trials at confidence z (1.96 for 95%).
 // It returns (0, 1) for zero trials: total ignorance.
+//
+// Domain: successes is clamped into [0, trials] — out-of-range counts
+// would put a negative p*(1-p) under the square root and poison both
+// bounds with NaN. A non-positive z asks for no confidence at all and
+// degenerates to the point interval (p, p); a non-finite z likewise has
+// no usable margin and returns (0, 1).
 func WilsonInterval(successes, trials int, z float64) (lo, hi float64) {
 	if trials <= 0 {
 		return 0, 1
 	}
+	if successes < 0 {
+		successes = 0
+	}
+	if successes > trials {
+		successes = trials
+	}
 	n := float64(trials)
 	p := float64(successes) / n
+	if z <= 0 {
+		return p, p
+	}
+	if math.IsInf(z, 0) || math.IsNaN(z) {
+		return 0, 1
+	}
 	z2 := z * z
 	denom := 1 + z2/n
 	center := (p + z2/(2*n)) / denom

@@ -114,6 +114,10 @@ type (
 	Summary = campaign.Summary
 	// Progress carries a Runner's optional OnCell/OnChunk hooks.
 	Progress = campaign.Progress
+	// AdaptiveSpec configures sequential early stopping: stop a cell once
+	// the anytime-valid confidence interval for its SDC proportion is
+	// tighter than the target half-width (attach with Plan.WithAdaptive).
+	AdaptiveSpec = campaign.AdaptiveSpec
 	// CellError is the typed failure of one experiment cell.
 	CellError = campaign.CellError
 
@@ -191,6 +195,14 @@ func NewMatrixRunner() *campaign.MatrixRunner { return &campaign.MatrixRunner{} 
 // Runner: summaries come from online reducers and no reports are
 // retained.
 func NewStreamRunner() *campaign.StreamRunner { return &campaign.StreamRunner{} }
+
+// NewAdaptiveRunner returns the early-stopping campaign engine as a
+// Runner: cells of a plan carrying an AdaptiveSpec stop as soon as their
+// confidence target is met, freed strikes are re-dealt to the cells with
+// the widest intervals, and every summary stays byte-identical to a
+// straight run with the same consumed strike count. Plans without a spec
+// delegate to the streaming engine unchanged.
+func NewAdaptiveRunner() *campaign.AdaptiveRunner { return &campaign.AdaptiveRunner{} }
 
 // RegisterDevice registers a device factory under name, making it
 // addressable from plans and every cmd/ tool.
