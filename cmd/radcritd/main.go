@@ -44,6 +44,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,7 +53,10 @@ import (
 	"radcrit/internal/campaign"
 	"radcrit/internal/cli"
 	"radcrit/internal/fleet"
+	"radcrit/internal/remotestore"
 	"radcrit/internal/service"
+	"radcrit/internal/store"
+	"radcrit/internal/tenant"
 )
 
 func main() {
@@ -59,6 +64,8 @@ func main() {
 	state := flag.String("state", "radcritd-state", "state `dir`: job records, checkpoint logs, result store")
 	executors := flag.Int("executors", 2, "jobs executed concurrently")
 	storeCapMB := flag.Int64("store-cap-mb", 0, "result-store size cap in MiB before LRU eviction (0 = uncapped)")
+	tenantsPath := flag.String("tenants", "", "tenant registry `file` (default <state>/tenants.json; missing file = default tenant only)")
+	storeBackend := flag.String("store-backend", "disk", "result store backend: disk, mem, or a remote store base URL")
 	maxJobs := flag.Int("max-jobs", 0, "job records retained before the oldest finished jobs are pruned (0 = default 1024)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a shutdown waits for in-flight chunks to checkpoint")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handler deadline (event streams are exempt)")
@@ -89,6 +96,25 @@ func main() {
 		Executors: *executors,
 		StoreCap:  *storeCapMB << 20,
 		MaxJobs:   *maxJobs,
+	}
+	tpath := *tenantsPath
+	if tpath == "" {
+		tpath = filepath.Join(*state, "tenants.json")
+	}
+	reg, err := tenant.Load(tpath)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	opts.Tenants = reg
+	switch {
+	case *storeBackend == "" || *storeBackend == "disk":
+		// nil Backend: the manager opens the disk store under -state.
+	case *storeBackend == "mem":
+		opts.Backend = store.NewMem()
+	case strings.HasPrefix(*storeBackend, "http://"), strings.HasPrefix(*storeBackend, "https://"):
+		opts.Backend = remotestore.New(*storeBackend)
+	default:
+		logger.Fatalf("unknown -store-backend %q (want disk, mem, or an http(s) URL)", *storeBackend)
 	}
 	var coord *fleet.Coordinator
 	if *fleetMode {

@@ -1,0 +1,466 @@
+// Command radload is the multi-tenant load-generation harness: it fires
+// thousands of concurrent plan submissions at a live radcritd from N
+// synthetic tenants, records throughput, submit-latency percentiles and
+// admission-control behavior (429s and their Retry-After headers), then
+// samples per-tenant strike progress while the daemon drains to measure
+// scheduling fairness. The report lands in BENCH_service.json.
+//
+// The tenants named in -tenants must already be registered with the
+// daemon (its -tenants file); radload only submits as them:
+//
+//	radload -base http://127.0.0.1:8447 -tenants alpha=3,beta=1 \
+//	    -jobs 1000 -strikes 200 -concurrency 32 -out BENCH_service.json
+//
+// Every submission uses a unique seed, so no two jobs share a cell key
+// and the content-addressed store cannot dedup the load away.
+//
+// Fairness is read mid-drain: while every load tenant still has backlog,
+// the ratio of completed strikes between the highest- and lowest-weight
+// tenants should match their weight ratio (the acceptance bound is
+// ±10%). The final shares always converge to the submitted ratio once
+// the queue empties, which is why the mid-drain window is the one that
+// matters.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"radcrit/internal/api"
+	"radcrit/internal/campaign"
+	"radcrit/internal/cli"
+	"radcrit/internal/service"
+	"radcrit/internal/stats"
+)
+
+// tenantSpec is one synthetic tenant's share of the load.
+type tenantSpec struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+}
+
+func parseTenants(s string) ([]tenantSpec, error) {
+	var out []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, found := strings.Cut(part, "=")
+		weight := 1
+		if found {
+			v, err := strconv.Atoi(w)
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad tenant weight %q", part)
+			}
+			weight = v
+		}
+		out = append(out, tenantSpec{Name: name, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no tenants in %q", s)
+	}
+	return out, nil
+}
+
+// tenantTally accumulates one tenant's submission outcomes.
+type tenantTally struct {
+	Tenant       string `json:"tenant"`
+	Weight       int    `json:"weight"`
+	Submitted    int    `json:"submitted"`
+	Accepted     int    `json:"accepted"`
+	Rejected429  int    `json:"rejected_429"`
+	RetryAfterOK int    `json:"retry_after_present"`
+	StrikesFinal int    `json:"strikes_done_final"`
+}
+
+// fairnessSample is one mid-drain reading of per-tenant progress.
+type fairnessSample struct {
+	ElapsedMS     int64          `json:"elapsed_ms"`
+	StrikesDone   map[string]int `json:"strikes_done"`
+	QueueDepth    map[string]int `json:"queue_depth"`
+	AllBacklogged bool           `json:"all_backlogged"`
+	StrikeRatio   float64        `json:"strike_ratio"`   // highest-weight : lowest-weight tenant
+	WeightedRatio float64        `json:"weighted_ratio"` // max/min of strikes/weight (1.0 = perfectly fair)
+}
+
+// report is BENCH_service.json.
+type report struct {
+	Description string `json:"description"`
+	Config      struct {
+		Base        string       `json:"base"`
+		Tenants     []tenantSpec `json:"tenants"`
+		Jobs        int          `json:"jobs"`
+		Strikes     int          `json:"strikes"`
+		Device      string       `json:"device"`
+		Kernel      string       `json:"kernel"`
+		Concurrency int          `json:"concurrency"`
+	} `json:"config"`
+	Submissions struct {
+		Total             int     `json:"total"`
+		Accepted          int     `json:"accepted"`
+		Rejected429       int     `json:"rejected_429"`
+		RetryAfterPresent int     `json:"retry_after_present"`
+		DurationSeconds   float64 `json:"duration_seconds"`
+		ThroughputRPS     float64 `json:"throughput_rps"`
+	} `json:"submissions"`
+	SubmitLatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"submit_latency_ms"`
+	Tenants         []tenantTally    `json:"tenants"`
+	FairnessSamples []fairnessSample `json:"fairness_samples"`
+	MidDrainSample  *fairnessSample  `json:"mid_drain_sample,omitempty"`
+	DrainSeconds    float64          `json:"drain_seconds"`
+	StrikesExecuted int              `json:"strikes_executed_total"`
+}
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8447", "radcritd base URL")
+	tenantsFlag := flag.String("tenants", "alpha=3,beta=1", "load tenants as name=weight,... (must be registered with the daemon)")
+	jobs := flag.Int("jobs", 1000, "total submissions, split round-robin across tenants")
+	strikes := flag.Int("strikes", 100, "strikes per submitted plan")
+	device := flag.String("device", "k40", "plan cell device")
+	kernel := flag.String("kernel", "dgemm:128", "plan cell kernel")
+	concurrency := flag.Int("concurrency", 32, "concurrent submitters")
+	sample := flag.Duration("sample", 250*time.Millisecond, "fairness sampling interval while draining")
+	wait := flag.Bool("wait", true, "wait for the daemon to drain and record fairness samples")
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
+	out := flag.String("out", "BENCH_service.json", "report `file` (- for stdout)")
+	showVersion := cli.VersionFlag(flag.CommandLine)
+	flag.Parse()
+	cli.ExitIfVersion(*showVersion)
+
+	specs, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		cli.Fatal("radload", "%v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	var rep report
+	rep.Description = "radcritd multi-tenant service benchmark: concurrent plan submissions from synthetic tenants; throughput, submit latency, 429 admission behavior and mid-drain weighted-fair strike shares. Regenerate with cmd/radload against a live daemon."
+	rep.Config.Base = *base
+	rep.Config.Tenants = specs
+	rep.Config.Jobs = *jobs
+	rep.Config.Strikes = *strikes
+	rep.Config.Device = *device
+	rep.Config.Kernel = *kernel
+	rep.Config.Concurrency = *concurrency
+
+	tallies := make([]*tenantTally, len(specs))
+	for i, s := range specs {
+		tallies[i] = &tenantTally{Tenant: s.Name, Weight: s.Weight}
+	}
+
+	// The sampler runs from the first submission: fairness is only
+	// observable while every tenant still has backlog, and the high-weight
+	// tenant's queue may already be empty by the time the last submission
+	// lands.
+	var (
+		mu        sync.Mutex
+		latencies []float64
+	)
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	client := api.NewClient(*base)
+	submitted := make(chan struct{}) // closed when every submission landed
+	drained := make(chan struct{})   // closed when the daemon's queue is empty
+	var samplerWG sync.WaitGroup
+	if *wait {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			defer close(drained)
+			for {
+				ts, err := client.Tenants(ctx)
+				if err != nil {
+					cli.Fatal("radload", "sample tenants: %v", err)
+				}
+				s := sampleFrom(specs, ts, time.Since(start))
+				mu.Lock()
+				rep.FairnessSamples = append(rep.FairnessSamples, s)
+				if s.AllBacklogged {
+					last := s
+					rep.MidDrainSample = &last
+				}
+				mu.Unlock()
+				select {
+				case <-submitted:
+					// All submissions accepted: from here, an empty queue
+					// means the run is over (before that it may just mean
+					// the load has not arrived yet).
+					list, err := client.List(ctx)
+					if err != nil {
+						cli.Fatal("radload", "list jobs: %v", err)
+					}
+					if list.States[service.StateQueued]+list.States[service.StateRunning] == 0 {
+						return
+					}
+				default:
+				}
+				select {
+				case <-ctx.Done():
+					cli.Fatal("radload", "deadline while draining: %v", ctx.Err())
+				case <-time.After(*sample):
+				}
+			}
+		}()
+	}
+	// Each tenant gets its own submitter pool and work feed: one tenant
+	// sleeping through 429 retries must not throttle another tenant's
+	// submission rate (shared workers would leave the high-weight tenant's
+	// queue starved and the fairness window unmeasurable).
+	perTenant := *concurrency / len(specs)
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	feeds := make([]chan int, len(specs))
+	for i := range feeds {
+		feeds[i] = make(chan int)
+	}
+	for ti := range specs {
+		for w := 0; w < perTenant; w++ {
+			wg.Add(1)
+			go func(ti int) {
+				defer wg.Done()
+				for idx := range feeds[ti] {
+					spec := specs[ti]
+					tally := tallies[ti]
+					// Unique seed per submission: unique cell key, no dedup.
+					plan := campaign.NewPlan(uint64(1_000_000+idx), *strikes).
+						WithCell(*device, *kernel).WithWorkers(1)
+					body, err := json.Marshal(plan)
+					if err != nil {
+						cli.Fatal("radload", "marshal plan: %v", err)
+					}
+					mu.Lock()
+					tally.Submitted++
+					mu.Unlock()
+					for attempt := 0; ; attempt++ {
+						t0 := time.Now()
+						status, retryAfter, err := submit(ctx, httpc, *base, spec.Name, body)
+						lat := time.Since(t0)
+						if err != nil {
+							if ctx.Err() != nil {
+								return
+							}
+							cli.Fatal("radload", "submit: %v", err)
+						}
+						if status == http.StatusTooManyRequests {
+							mu.Lock()
+							tally.Rejected429++
+							if retryAfter > 0 {
+								tally.RetryAfterOK++
+							}
+							mu.Unlock()
+							// Closed-loop retry: honor the server's estimate,
+							// bounded so one slow tenant cannot stall the run.
+							delay := retryAfter
+							if delay <= 0 || delay > 2*time.Second {
+								delay = 2 * time.Second
+							}
+							select {
+							case <-ctx.Done():
+								return
+							case <-time.After(delay):
+							}
+							continue
+						}
+						if status != http.StatusCreated {
+							cli.Fatal("radload", "submit as %s: HTTP %d", spec.Name, status)
+						}
+						mu.Lock()
+						tally.Accepted++
+						latencies = append(latencies, float64(lat.Microseconds())/1000)
+						mu.Unlock()
+						break
+					}
+				}
+			}(ti)
+		}
+	}
+	// Feed each tenant independently too, for the same decoupling reason.
+	var feedWG sync.WaitGroup
+	for ti := range specs {
+		feedWG.Add(1)
+		go func(ti int) {
+			defer feedWG.Done()
+			defer close(feeds[ti])
+			for i := ti; i < *jobs; i += len(specs) {
+				select {
+				case feeds[ti] <- i:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(ti)
+	}
+	feedWG.Wait()
+	wg.Wait()
+	if ctx.Err() != nil {
+		cli.Fatal("radload", "deadline while submitting: %v", ctx.Err())
+	}
+	submitDur := time.Since(start)
+
+	for _, t := range tallies {
+		rep.Submissions.Total += t.Submitted
+		rep.Submissions.Accepted += t.Accepted
+		rep.Submissions.Rejected429 += t.Rejected429
+		rep.Submissions.RetryAfterPresent += t.RetryAfterOK
+	}
+	rep.Submissions.DurationSeconds = submitDur.Seconds()
+	if submitDur > 0 {
+		rep.Submissions.ThroughputRPS = float64(rep.Submissions.Accepted) / submitDur.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.SubmitLatencyMS.P50 = stats.Percentile(latencies, 0.50)
+	rep.SubmitLatencyMS.P90 = stats.Percentile(latencies, 0.90)
+	rep.SubmitLatencyMS.P99 = stats.Percentile(latencies, 0.99)
+	if n := len(latencies); n > 0 {
+		rep.SubmitLatencyMS.Max = latencies[n-1]
+	}
+
+	// Wait out the drain, then read the final per-tenant tallies.
+	if *wait {
+		drainStart := time.Now()
+		close(submitted)
+		samplerWG.Wait()
+		<-drained
+		rep.DrainSeconds = time.Since(drainStart).Seconds()
+		final, err := client.Tenants(ctx)
+		if err != nil {
+			cli.Fatal("radload", "final tenants: %v", err)
+		}
+		byName := map[string]service.TenantStat{}
+		for _, t := range final {
+			byName[t.Tenant] = t
+		}
+		for _, t := range tallies {
+			t.StrikesFinal = byName[t.Tenant].StrikesDone
+			rep.StrikesExecuted += t.StrikesFinal
+		}
+	}
+	for _, t := range tallies {
+		rep.Tenants = append(rep.Tenants, *t)
+	}
+	// Thin the sample trail for the report: the full-rate trail exists to
+	// catch the mid-drain window, not to bloat BENCH_service.json.
+	if n := len(rep.FairnessSamples); n > 64 {
+		step := (n + 63) / 64
+		thin := rep.FairnessSamples[:0]
+		for i := 0; i < n; i += step {
+			thin = append(thin, rep.FairnessSamples[i])
+		}
+		if last := rep.FairnessSamples[n-1]; thin[len(thin)-1].ElapsedMS != last.ElapsedMS {
+			thin = append(thin, last)
+		}
+		rep.FairnessSamples = thin
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		cli.Fatal("radload", "%v", err)
+	}
+	if *out == "-" {
+		os.Stdout.Write(buf.Bytes())
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		cli.Fatal("radload", "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "radload: %d submissions (%d rejected-then-retried) in %.2fs, drain %.2fs, report: %s\n",
+		rep.Submissions.Total, rep.Submissions.Rejected429, rep.Submissions.DurationSeconds, rep.DrainSeconds, *out)
+}
+
+// submit POSTs one plan as a tenant and reports (status, Retry-After).
+func submit(ctx context.Context, c *http.Client, base, tenantName string, body []byte) (int, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenantName != "" {
+		req.Header.Set(api.TenantHeader, tenantName)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	// Drain the body so the connection is reused.
+	var sink [512]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// sampleFrom reduces one /v1/tenants reading to the fairness view over
+// the load tenants.
+func sampleFrom(specs []tenantSpec, ts []service.TenantStat, elapsed time.Duration) fairnessSample {
+	byName := map[string]service.TenantStat{}
+	for _, t := range ts {
+		byName[t.Tenant] = t
+	}
+	s := fairnessSample{
+		ElapsedMS:     elapsed.Milliseconds(),
+		StrikesDone:   map[string]int{},
+		QueueDepth:    map[string]int{},
+		AllBacklogged: true,
+	}
+	var hiW, loW tenantSpec
+	for _, spec := range specs {
+		st := byName[spec.Name]
+		s.StrikesDone[spec.Name] = st.StrikesDone
+		s.QueueDepth[spec.Name] = st.QueueDepth
+		if st.QueueDepth == 0 {
+			s.AllBacklogged = false
+		}
+		if hiW.Name == "" || spec.Weight > hiW.Weight {
+			hiW = spec
+		}
+		if loW.Name == "" || spec.Weight < loW.Weight {
+			loW = spec
+		}
+	}
+	if lo := s.StrikesDone[loW.Name]; lo > 0 {
+		s.StrikeRatio = float64(s.StrikesDone[hiW.Name]) / float64(lo)
+	}
+	var maxN, minN float64 = -1, -1
+	for _, spec := range specs {
+		n := float64(s.StrikesDone[spec.Name]) / float64(spec.Weight)
+		if maxN < 0 || n > maxN {
+			maxN = n
+		}
+		if minN < 0 || n < minN {
+			minN = n
+		}
+	}
+	if minN > 0 {
+		s.WeightedRatio = maxN / minN
+	}
+	return s
+}

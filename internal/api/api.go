@@ -6,19 +6,29 @@
 // bit-exactly.
 //
 //	POST   /v1/jobs             submit a Plan (body), ?priority=N
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs + per-tenant queue depths + per-state counts
 //	GET    /v1/jobs/{id}        status + per-cell progress
 //	GET    /v1/jobs/{id}/result per-cell summaries of a finished job
 //	GET    /v1/jobs/{id}/events live progress (Server-Sent Events)
 //	DELETE /v1/jobs/{id}        cancel
+//	GET    /v1/tenants          per-tenant scheduling stats
 //	GET    /v1/registry         registered devices and kernels
 //	GET    /v1/version          build information
+//
+// Every request resolves to a tenant: a Bearer token maps through the
+// tenant registry, the X-Radcrit-Tenant header addresses tokenless
+// tenants by name (trusted-network mode), and anonymous requests act as
+// the default tenant — the pre-tenancy behaviour. A submission that
+// trips the tenant's admission quota is answered 429 with a Retry-After
+// header estimating when the backlog will have drained.
 package api
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -28,7 +38,11 @@ import (
 	"radcrit/internal/campaign"
 	"radcrit/internal/registry"
 	"radcrit/internal/service"
+	"radcrit/internal/tenant"
 )
+
+// TenantHeader names the tenant a tokenless request acts as.
+const TenantHeader = "X-Radcrit-Tenant"
 
 // maxPlanBytes bounds a submitted plan document. Plans are small — a
 // thousand-cell matrix is a few tens of KiB — so 1 MiB is generous.
@@ -65,6 +79,7 @@ func New(m *service.Manager, version string, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /v1/tenants", s.tenants)
 	s.mux.HandleFunc("GET /v1/registry", s.registry)
 	s.mux.HandleFunc("GET /v1/version", s.versionInfo)
 	return s
@@ -110,7 +125,43 @@ type RegistryInfo struct {
 	Kernels []registry.Info `json:"kernels"`
 }
 
+// resolveTenant maps a request to its tenant name. Precedence: a Bearer
+// token authenticates as its registered tenant (an unknown token is
+// 401); otherwise the X-Radcrit-Tenant header addresses a registered
+// tenant by name — but a tenant that has a token must present it, so
+// the header alone cannot impersonate an authenticated namespace;
+// otherwise the request acts as the default tenant.
+func (s *Server) resolveTenant(r *http.Request) (string, int, error) {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		tok, ok := strings.CutPrefix(auth, "Bearer ")
+		if !ok {
+			return "", http.StatusUnauthorized, fmt.Errorf("unsupported Authorization scheme")
+		}
+		tn, ok := s.m.Tenants().ResolveToken(strings.TrimSpace(tok))
+		if !ok {
+			return "", http.StatusUnauthorized, fmt.Errorf("unknown bearer token")
+		}
+		return tn.Name, 0, nil
+	}
+	if name := r.Header.Get(TenantHeader); name != "" {
+		tn, ok := s.m.Tenants().Get(name)
+		if !ok {
+			return "", http.StatusForbidden, fmt.Errorf("unknown tenant %q", name)
+		}
+		if tn.Token != "" {
+			return "", http.StatusUnauthorized, fmt.Errorf("tenant %q requires a bearer token", name)
+		}
+		return tn.Name, 0, nil
+	}
+	return tenant.Default, 0, nil
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	tenantName, code, terr := s.resolveTenant(r)
+	if terr != nil {
+		writeErr(w, code, "%v", terr)
+		return
+	}
 	priority := 0
 	if p := r.URL.Query().Get("priority"); p != "" {
 		v, err := strconv.Atoi(p)
@@ -127,8 +178,16 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, err := s.m.Submit(plan, priority)
+	snap, err := s.m.SubmitAs(tenantName, plan, priority)
 	if err != nil {
+		var qe *service.QuotaError
+		if errors.As(err, &qe) {
+			// Retry-After is whole seconds (RFC 9110), rounded up so a
+			// client never retries early into the same rejection.
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(qe.RetryAfter.Seconds()))))
+			writeErr(w, http.StatusTooManyRequests, "%v", qe)
+			return
+		}
 		code := http.StatusBadRequest
 		if err == service.ErrDraining {
 			code = http.StatusServiceUnavailable
@@ -139,8 +198,26 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, snap)
 }
 
+// JobsList is GET /v1/jobs' body: the job snapshots plus the scheduling
+// picture — per-state job counts across the daemon and per-tenant stats
+// (weight, queue depth, strike progress).
+type JobsList struct {
+	Jobs    []service.Snapshot    `json:"jobs"`
+	States  map[service.State]int `json:"states"`
+	Tenants []service.TenantStat  `json:"tenants"`
+}
+
 func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.Jobs())
+	jobs := s.m.Jobs()
+	states := map[service.State]int{}
+	for _, j := range jobs {
+		states[j.State]++
+	}
+	writeJSON(w, http.StatusOK, JobsList{Jobs: jobs, States: states, Tenants: s.m.TenantStats()})
+}
+
+func (s *Server) tenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.TenantStats())
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {

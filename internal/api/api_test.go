@@ -239,8 +239,9 @@ func TestAPIErrorsAndLifecycle(t *testing.T) {
 		t.Errorf("version = %+v", vi)
 	}
 
-	// Job listing includes what we just ran.
-	var listed []service.Snapshot
+	// Job listing includes what we just ran, plus the scheduling picture:
+	// per-state counts and per-tenant stats (the default tenant at least).
+	var listed JobsList
 	lresp, err := http.Get(d.srv.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
@@ -249,8 +250,20 @@ func TestAPIErrorsAndLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	lresp.Body.Close()
-	if len(listed) == 0 {
+	if len(listed.Jobs) == 0 {
 		t.Errorf("job list is empty")
+	}
+	if listed.States[service.StateCancelled] == 0 {
+		t.Errorf("state counts missing cancelled job: %v", listed.States)
+	}
+	foundDefault := false
+	for _, ts := range listed.Tenants {
+		if ts.Tenant == "default" {
+			foundDefault = true
+		}
+	}
+	if !foundDefault {
+		t.Errorf("tenant stats missing default tenant: %+v", listed.Tenants)
 	}
 }
 

@@ -37,11 +37,28 @@ type Client struct {
 	// a transport error, a 5xx, or a 429. 0 selects the default (3);
 	// negative disables retrying. GET and DELETE retry on any transient
 	// failure; POST retries only when the connection never reached the
-	// server (a dial error), so a submit is never accidentally doubled.
+	// server (a dial error) or when the server answered 429 — an explicit
+	// rejection before any work, so a submit is never accidentally
+	// doubled.
 	Retries int
 	// RetryBase is the first backoff delay, doubled per attempt with
 	// jitter (default 200ms).
 	RetryBase time.Duration
+	// RetryMax caps every retry delay: the exponential backoff and any
+	// server-provided Retry-After alike (default 5s). A 429 carrying a
+	// Retry-After header waits the server's estimate — it knows the
+	// tenant's backlog — instead of blind backoff, clamped to this cap.
+	RetryMax time.Duration
+	// Tenant, when set, is sent as the X-Radcrit-Tenant header on every
+	// request (trusted-network tenant addressing). Ignored when Token is
+	// set.
+	Tenant string
+	// Token, when set, authenticates every request as its registered
+	// tenant via an Authorization: Bearer header.
+	Token string
+
+	// sleep overrides the retry delay (tests inject a fake clock).
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // NewClient normalises addr into a Client.
@@ -59,10 +76,21 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// authHeaders stamps the client's tenant identity onto a request.
+func (c *Client) authHeaders(req *http.Request) {
+	switch {
+	case c.Token != "":
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	case c.Tenant != "":
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+}
+
 // attempt issues one request under the per-attempt timeout and returns
-// the status and body. A nil error with a non-2xx status is a protocol
-// answer; an error is transport failure.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+// the status, body and any server-provided Retry-After hint. A nil
+// error with a non-2xx status is a protocol answer; an error is
+// transport failure.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (int, []byte, time.Duration, error) {
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
@@ -74,27 +102,69 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.authHeaders(req)
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	defer resp.Body.Close()
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return resp.StatusCode, nil, err
+		return resp.StatusCode, nil, retryAfter, err
 	}
-	return resp.StatusCode, data, nil
+	return resp.StatusCode, data, retryAfter, nil
+}
+
+// parseRetryAfter reads the delay-seconds form of a Retry-After header
+// (the only form the daemon emits). Malformed or absent values yield 0.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryMax is the cap on any single retry delay.
+func (c *Client) retryMax() time.Duration {
+	if c.RetryMax > 0 {
+		return c.RetryMax
+	}
+	return 5 * time.Second
+}
+
+// sleepRetry waits one retry delay (or the fake clock stands in).
+func (c *Client) sleepRetry(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // fetch is attempt under the client's retry policy: transient failures
 // (transport errors, 5xx, 429) back off exponentially with jitter and
-// retry, within the caller's ctx. POST only retries dial errors — if
-// the request may have reached the server, retrying could double it.
+// retry, within the caller's ctx. POST only retries dial errors and
+// explicit 429 rejections — if the request may have reached the server
+// and been acted on, retrying could double it. A 429 whose Retry-After
+// header names a delay waits exactly that long (clamped to RetryMax,
+// no jitter — the server's backlog estimate already spreads tenants)
+// instead of blind exponential backoff.
 func (c *Client) fetch(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
 	retries := c.Retries
 	switch {
@@ -108,23 +178,25 @@ func (c *Client) fetch(ctx context.Context, method, path string, body []byte) (i
 		base = 200 * time.Millisecond
 	}
 	for attempt := 0; ; attempt++ {
-		status, data, err := c.attempt(ctx, method, path, body)
+		status, data, retryAfter, err := c.attempt(ctx, method, path, body)
 		if !retriable(method, status, err) || attempt >= retries || ctx.Err() != nil {
 			return status, data, err
 		}
 		delay := base << attempt
-		if delay > 5*time.Second {
-			delay = 5 * time.Second
+		if delay > c.retryMax() {
+			delay = c.retryMax()
 		}
 		// Jitter over [delay/2, delay) so a fleet of clients recovering
 		// from the same blip does not retry in lockstep.
 		delay = delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
-		t := time.NewTimer(delay)
-		select {
-		case <-ctx.Done():
-			t.Stop()
+		if status == http.StatusTooManyRequests && retryAfter > 0 {
+			delay = retryAfter
+			if delay > c.retryMax() {
+				delay = c.retryMax()
+			}
+		}
+		if c.sleepRetry(ctx, delay) != nil {
 			return status, data, err
-		case <-t.C:
 		}
 	}
 }
@@ -140,7 +212,12 @@ func retriable(method string, status int, err error) bool {
 		var opErr *net.OpError
 		return errors.As(err, &opErr) && opErr.Op == "dial"
 	}
-	return idempotent && (status >= 500 || status == http.StatusTooManyRequests)
+	if status == http.StatusTooManyRequests {
+		// Admission control rejected the request before any work — safe
+		// to retry whatever the method.
+		return true
+	}
+	return idempotent && status >= 500
 }
 
 // do issues a (retried) request and decodes the JSON response into out,
@@ -217,6 +294,22 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.Snapshot, error
 	var snap service.Snapshot
 	_, err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &snap)
 	return snap, err
+}
+
+// Tenants fetches the daemon's per-tenant scheduling stats — the
+// fairness observability radload samples mid-drain.
+func (c *Client) Tenants(ctx context.Context) ([]service.TenantStat, error) {
+	var stats []service.TenantStat
+	_, err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &stats)
+	return stats, err
+}
+
+// List fetches the jobs listing: snapshots plus per-state counts and
+// per-tenant queue depths.
+func (c *Client) List(ctx context.Context) (JobsList, error) {
+	var jl JobsList
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jl)
+	return jl, err
 }
 
 // Registry fetches the daemon's registered devices and kernels.
@@ -335,6 +428,7 @@ func (c *Client) streamEvents(ctx context.Context, id string, lastID *string, re
 		return false, false, &fatalStreamError{err: fmt.Errorf("api: %w", err)}
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	c.authHeaders(req)
 	if *lastID != "" {
 		req.Header.Set("Last-Event-ID", *lastID)
 	}

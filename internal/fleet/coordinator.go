@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"radcrit/internal/sched"
 	"radcrit/internal/service"
+	"radcrit/internal/tenant"
 )
 
 // Options tunes the coordinator's failure model. The zero value selects
@@ -88,6 +90,7 @@ type lease struct {
 // item is one cell awaiting, or under, remote execution.
 type item struct {
 	id  string
+	seq uint64 // weighted-fair queue submission sequence
 	req service.RemoteCell
 
 	leases        map[string]*lease
@@ -118,11 +121,16 @@ type item struct {
 type Coordinator struct {
 	opts Options
 
-	mu       sync.Mutex
-	workers  map[string]*workerState
-	items    map[string]*item
-	leases   map[string]*lease
-	pending  []*item // FIFO; requeued items go to the front
+	mu      sync.Mutex
+	workers map[string]*workerState
+	items   map[string]*item
+	leases  map[string]*lease
+	// pending is the dispatch queue: weighted-fair across the tenants of
+	// the jobs that own the cells, so one tenant's wide job cannot starve
+	// the fleet for everyone else. Within a tenant, requeued items re-enter
+	// at a higher priority than fresh ones (the pre-WFQ requeue-at-front
+	// behavior, now tenant-scoped).
+	pending  *sched.Queue[*item]
 	seq      uint64
 	counters Counters
 
@@ -139,6 +147,7 @@ func NewCoordinator(opts Options) *Coordinator {
 		workers: map[string]*workerState{},
 		items:   map[string]*item{},
 		leases:  map[string]*lease{},
+		pending: sched.NewQueue[*item](),
 		stop:    make(chan struct{}),
 	}
 	c.janitorW.Add(1)
@@ -188,13 +197,13 @@ func (c *Coordinator) RunRemote(ctx context.Context, req service.RemoteCell) (*s
 		id:          c.nextIDLocked("it"),
 		req:         req,
 		leases:      map[string]*lease{},
-		queued:      true,
 		bestStrikes: 0,
 		bestLog:     append([]byte(nil), req.PrevLog...),
 		done:        make(chan struct{}),
 	}
+	it.seq = c.seq
 	c.items[it.id] = it
-	c.pending = append(c.pending, it)
+	c.enqueueLocked(it, 0)
 	c.mu.Unlock()
 	defer c.finishItem(it)
 
@@ -246,16 +255,34 @@ func (c *Coordinator) finishItem(it *item) {
 	c.dropItemLeasesLocked(it)
 }
 
+// tenantOf names the namespace an item schedules under; pre-tenancy
+// managers leave RemoteCell.Tenant empty.
+func tenantOf(req service.RemoteCell) string {
+	if req.Tenant == "" {
+		return tenant.Default
+	}
+	return req.Tenant
+}
+
+// enqueueLocked puts an item on the weighted-fair dispatch queue.
+// Requeued items (a lost lease's salvage) enter at priority 1, above
+// fresh cells' priority 0, so a tenant's salvaged checkpoints resume
+// before its untouched backlog — the old requeue-at-front behavior,
+// scoped to the tenant.
+func (c *Coordinator) enqueueLocked(it *item, priority int) {
+	weight := it.req.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	it.queued = true
+	c.pending.Push(tenantOf(it.req), weight, priority, it.seq, it.req.CostNS, it)
+}
+
 func (c *Coordinator) removeFromPendingLocked(it *item) {
 	if !it.queued {
 		return
 	}
-	for i, p := range c.pending {
-		if p == it {
-			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			break
-		}
-	}
+	c.pending.Remove(tenantOf(it.req), it.seq)
 	it.queued = false
 }
 
@@ -286,8 +313,7 @@ func (c *Coordinator) requeueLocked(it *item) {
 	}
 	c.counters.Requeues++
 	c.counters.RequeuedStrikes += it.bestStrikes
-	it.queued = true
-	c.pending = append([]*item{it}, c.pending...)
+	c.enqueueLocked(it, 1)
 	c.opts.Logf("fleet: item %s (%s): requeued from strike %d (attempt %d)", it.id, it.req.Key, it.bestStrikes, it.attempts)
 }
 
@@ -370,9 +396,7 @@ func (c *Coordinator) sweep(now time.Time) {
 // head, or — when the queue is empty — a speculative duplicate lease on
 // the longest-running straggler this worker is not already working on.
 func (c *Coordinator) dispatchLocked(w *workerState, now time.Time) (*item, bool) {
-	if len(c.pending) > 0 {
-		it := c.pending[0]
-		c.pending = c.pending[1:]
+	if it, ok := c.pending.Pop(); ok {
 		it.queued = false
 		return it, false
 	}
@@ -616,7 +640,8 @@ func (c *Coordinator) Health() Health {
 	defer c.mu.Unlock()
 	h := Health{
 		Healthy:     c.healthyLocked(now),
-		QueueDepth:  len(c.pending),
+		QueueDepth:  c.pending.Len(),
+		TenantDepth: c.pending.Depths(),
 		ActiveItems: len(c.items),
 		Counters:    c.counters,
 		// Empty slices, not nil: the JSON body always has "workers" and
@@ -640,6 +665,7 @@ func (c *Coordinator) Health() Health {
 			Lease:   id,
 			Worker:  l.worker,
 			Key:     l.item.req.Key,
+			Tenant:  tenantOf(l.item.req),
 			AgeMS:   now.Sub(l.started).Milliseconds(),
 			Strikes: l.strikes,
 			Total:   l.item.req.Cfg.Strikes,

@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"radcrit/internal/service"
+)
+
+// newItemLocked fabricates a queued item the way RunRemote does, without
+// a blocking RunRemote goroutine behind it.
+func (c *Coordinator) newItemLocked(tenantName string, weight int, cost uint64) *item {
+	it := &item{
+		id:     c.nextIDLocked("it"),
+		req:    service.RemoteCell{Tenant: tenantName, Weight: weight, CostNS: cost, Key: fmt.Sprintf("%064x", c.seq)},
+		leases: map[string]*lease{},
+		done:   make(chan struct{}),
+	}
+	it.seq = c.seq
+	c.items[it.id] = it
+	c.enqueueLocked(it, 0)
+	return it
+}
+
+// TestDispatchWeightedFair: with two tenants saturating the pending
+// queue at equal cost and 3:1 weights, the dispatch stream serves them
+// 3:1 (±10%) — the fleet-side half of the acceptance-criteria ratio.
+func TestDispatchWeightedFair(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Hour})
+	defer c.Close()
+	c.mu.Lock()
+	for i := 0; i < 40; i++ {
+		c.newItemLocked("alpha", 3, 1000)
+		c.newItemLocked("beta", 1, 1000)
+	}
+	if d := c.pending.Depths(); d["alpha"] != 40 || d["beta"] != 40 {
+		c.mu.Unlock()
+		t.Fatalf("tenant depths = %v", d)
+	}
+	w := &workerState{id: "w-1", lastSeen: time.Now()}
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ { // both tenants still backlogged throughout
+		it, stolen := c.dispatchLocked(w, time.Now())
+		if it == nil || stolen {
+			c.mu.Unlock()
+			t.Fatalf("dispatch %d = %v (stolen=%v)", i, it, stolen)
+		}
+		counts[tenantOf(it.req)]++
+	}
+	c.mu.Unlock()
+	ratio := float64(counts["alpha"]) / float64(counts["beta"])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("alpha:beta dispatch ratio = %.2f (%v), want 3.0 ±10%%", ratio, counts)
+	}
+}
+
+// TestRequeueJumpsTenantBacklog: a requeued item (priority 1) dispatches
+// before the same tenant's fresh backlog (priority 0) — the old
+// requeue-at-front behavior, tenant-scoped.
+func TestRequeueJumpsTenantBacklog(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Hour, MaxAttempts: 5})
+	defer c.Close()
+	c.mu.Lock()
+	first := c.newItemLocked("solo", 1, 1000)
+	c.newItemLocked("solo", 1, 1000)
+	c.newItemLocked("solo", 1, 1000)
+	w := &workerState{id: "w-1", lastSeen: time.Now()}
+	got, _ := c.dispatchLocked(w, time.Now())
+	if got != first {
+		c.mu.Unlock()
+		t.Fatalf("first dispatch = %v, want the first-submitted item", got.id)
+	}
+	c.requeueLocked(first) // lost its lease: back it goes, ahead of the backlog
+	got, _ = c.dispatchLocked(w, time.Now())
+	requeues := c.counters.Requeues
+	c.mu.Unlock()
+	if got != first {
+		t.Fatalf("post-requeue dispatch = %v, want the requeued item first", got.id)
+	}
+	if requeues != 1 {
+		t.Fatalf("requeues = %d, want 1", requeues)
+	}
+}

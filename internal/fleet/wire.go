@@ -191,6 +191,7 @@ type LeaseHealth struct {
 	Lease   string `json:"lease"`
 	Worker  string `json:"worker"`
 	Key     string `json:"key"`
+	Tenant  string `json:"tenant"`
 	AgeMS   int64  `json:"age_ms"`
 	Strikes int    `json:"strikes"`
 	Total   int    `json:"total"`
@@ -202,8 +203,11 @@ type Health struct {
 	Healthy bool `json:"healthy"`
 	// Workers lists registered workers, most recently seen first.
 	Workers []WorkerHealth `json:"workers"`
-	// QueueDepth is the number of items awaiting dispatch.
-	QueueDepth int `json:"queue_depth"`
+	// QueueDepth is the number of items awaiting dispatch; TenantDepth
+	// breaks it down by the tenant of the job each cell belongs to
+	// (tenants with nothing queued are omitted).
+	QueueDepth  int            `json:"queue_depth"`
+	TenantDepth map[string]int `json:"tenant_depth,omitempty"`
 	// ActiveItems is the number of items currently leased or queued.
 	ActiveItems int           `json:"active_items"`
 	Leases      []LeaseHealth `json:"leases"`

@@ -1,0 +1,257 @@
+// Package remotestore puts a network seam in front of the
+// content-addressed store: Server exposes any store.Backend over a
+// small object-storage-shaped HTTP protocol (PUT/GET/HEAD/DELETE per
+// key, plus stats and a server-side GC hook, the way S3 pairs object
+// calls with lifecycle policies), and Client implements store.Backend
+// over that protocol. A daemon can therefore run against a shared
+// result store served by another radcritd — or, eventually, a real
+// object store speaking the same verbs — without the service layer
+// knowing the difference.
+//
+// The wire format is deliberately boring: the key is the URL path, the
+// value is the body, recency and eviction live server-side where the
+// LRU clock is. No external SDK is involved.
+package remotestore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"radcrit/internal/store"
+)
+
+// Client implements store.Backend against a remotestore.Server (or
+// anything speaking the same protocol).
+type Client struct {
+	// Base is the server's URL prefix, e.g. "http://host:9090/v1/store".
+	Base string
+	// HTTPClient overrides the transport; nil uses a client with a
+	// conservative timeout.
+	HTTPClient *http.Client
+}
+
+var _ store.Backend = (*Client)(nil)
+
+// New builds a client for a remote store rooted at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) url(key string) string { return c.Base + "/" + key }
+
+func (c *Client) do(method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("remotestore: %w", err)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, nil, fmt.Errorf("remotestore: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("remotestore: %w", err)
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Put stores data under key on the remote server.
+func (c *Client) Put(key string, data []byte) error {
+	if err := store.ValidKey(key); err != nil {
+		return err
+	}
+	code, body, err := c.do(http.MethodPut, c.url(key), data)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusNoContent {
+		return fmt.Errorf("remotestore: put %s: HTTP %d: %s", key, code, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Get fetches the entry under key; a hit refreshes server-side recency.
+func (c *Client) Get(key string) ([]byte, bool) {
+	if store.ValidKey(key) != nil {
+		return nil, false
+	}
+	code, body, err := c.do(http.MethodGet, c.url(key), nil)
+	if err != nil || code != http.StatusOK {
+		return nil, false
+	}
+	return body, true
+}
+
+// Has probes presence without refreshing recency.
+func (c *Client) Has(key string) bool {
+	if store.ValidKey(key) != nil {
+		return false
+	}
+	code, _, err := c.do(http.MethodHead, c.url(key), nil)
+	return err == nil && code == http.StatusOK
+}
+
+// Delete removes key's entry on the remote server.
+func (c *Client) Delete(key string) error {
+	if err := store.ValidKey(key); err != nil {
+		return err
+	}
+	code, body, err := c.do(http.MethodDelete, c.url(key), nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusNoContent && code != http.StatusNotFound {
+		return fmt.Errorf("remotestore: delete %s: HTTP %d: %s", key, code, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+type statsBody struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+type gcBody struct {
+	Evicted   int   `json:"evicted"`
+	Reclaimed int64 `json:"reclaimed"`
+}
+
+// Stats reports the remote store's entry count and total size.
+func (c *Client) Stats() (int, int64, error) {
+	code, body, err := c.do(http.MethodGet, c.Base+"?stats", nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if code != http.StatusOK {
+		return 0, 0, fmt.Errorf("remotestore: stats: HTTP %d", code)
+	}
+	var sb statsBody
+	if err := json.Unmarshal(body, &sb); err != nil {
+		return 0, 0, fmt.Errorf("remotestore: stats: %w", err)
+	}
+	return sb.Entries, sb.Bytes, nil
+}
+
+// GC asks the server to evict down to maxBytes. Eviction policy runs
+// server-side, where the LRU clock lives.
+func (c *Client) GC(maxBytes int64) (int, int64, error) {
+	if maxBytes <= 0 {
+		return 0, 0, nil
+	}
+	code, body, err := c.do(http.MethodPost, c.Base+"/gc?max_bytes="+strconv.FormatInt(maxBytes, 10), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if code != http.StatusOK {
+		return 0, 0, fmt.Errorf("remotestore: gc: HTTP %d", code)
+	}
+	var gb gcBody
+	if err := json.Unmarshal(body, &gb); err != nil {
+		return 0, 0, fmt.Errorf("remotestore: gc: %w", err)
+	}
+	return gb.Evicted, gb.Reclaimed, nil
+}
+
+// Server exposes a store.Backend over the remotestore protocol.
+type Server struct {
+	backend store.Backend
+}
+
+// NewServer wraps backend for serving.
+func NewServer(b store.Backend) *Server { return &Server{backend: b} }
+
+// ServeHTTP handles one store request. Mount it under a prefix and pass
+// the key as the remaining path, e.g. mux.Handle("/v1/store/", ...) with
+// http.StripPrefix.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := strings.Trim(r.URL.Path, "/")
+	switch {
+	case key == "" && r.Method == http.MethodGet:
+		entries, bytes, err := s.backend.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, statsBody{Entries: entries, Bytes: bytes})
+	case key == "gc" && r.Method == http.MethodPost:
+		maxBytes, err := strconv.ParseInt(r.URL.Query().Get("max_bytes"), 10, 64)
+		if err != nil || maxBytes <= 0 {
+			http.Error(w, "remotestore: bad max_bytes", http.StatusBadRequest)
+			return
+		}
+		evicted, reclaimed, err := s.backend.GC(maxBytes)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, gcBody{Evicted: evicted, Reclaimed: reclaimed})
+	default:
+		s.serveKey(w, r, key)
+	}
+}
+
+func (s *Server) serveKey(w http.ResponseWriter, r *http.Request, key string) {
+	if err := store.ValidKey(key); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.backend.Put(key, data); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		data, ok := s.backend.Get(key)
+		if !ok {
+			http.Error(w, "remotestore: not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	case http.MethodHead:
+		if !s.backend.Has(key) {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		if err := s.backend.Delete(key); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "remotestore: method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, _ := json.Marshal(v)
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,129 @@
+// Package sched prices campaign cells and schedules them fairly across
+// tenants. The two halves compose: the cost model turns a cell's registry
+// params and strike budget into an estimated execution charge (ns), and
+// the weighted-fair queue spends those charges against per-tenant virtual
+// time, so one tenant's slow LavaMD plans cannot starve another tenant's
+// cheap DGEMM cells — the scheduler sees the price difference before
+// placement instead of discovering it in wall time.
+//
+// Everything here is deterministic: the same queue contents always pop in
+// the same order, which keeps the service layer's scheduling reproducible
+// (and testable) even though per-cell results never depended on order in
+// the first place.
+package sched
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Per-strike reference charges in nanoseconds, calibrated against the
+// mixed-strike benchmarks recorded in BENCH_campaign.json
+// (strike_hot_path.benchmarks, this repo's 1-core Xeon baseline):
+//
+//	StrikeDGEMM    dgemm:256      43_559 ns/strike
+//	StrikeLavaMD   lavamd:5     5_441_730 ns/strike
+//	StrikeHotSpot  hotspot:64x80   86_537 ns/strike
+//	StrikeCLAMR    clamr:48x60    487_984 ns/strike
+//
+// The absolute numbers only matter relative to each other — the queue
+// divides charges by weights, so a uniform rescale changes nothing — but
+// anchoring them to the measured baseline keeps the model honest: a
+// LavaMD strike really is ~125x a DGEMM strike on this hardware.
+const (
+	dgemmRefNS   = 43_559 // at N = 256
+	lavamdRefNS  = 5_441_730
+	hotspotRefNS = 86_537
+	clamrRefNS   = 487_984
+
+	dgemmRefN   = 256
+	lavamdRefG  = 5
+	hotspotRefS = 64
+	hotspotRefI = 80
+	clamrRefS   = 48
+	clamrRefT   = 60
+)
+
+// DefaultStrikeNS is the per-strike charge for kernels the model has no
+// calibration for (third-party registrations): mid-range, so an unknown
+// kernel neither starves its tenant nor gets a free ride.
+const DefaultStrikeNS = 250_000
+
+// CostModel prices cells. The zero value is ready to use.
+type CostModel struct {
+	// DefaultNS overrides the per-strike charge for unrecognised kernels
+	// (0 selects DefaultStrikeNS).
+	DefaultNS uint64
+}
+
+// StrikeCost estimates one strike's execution charge (ns) for a kernel
+// spec ("dgemm:1024", "lavamd:19", "hotspot:1024x400", "clamr:512x600").
+// The scaling laws follow each kernel's dominant per-strike work:
+//
+//	dgemm:N      ∝ N²    (golden-product compare over the output matrix)
+//	lavamd:G     ∝ G³    (G³ boxes, 27-neighbourhood force sums)
+//	hotspot:SxI  ∝ S²·I  (S² grid re-evolved over I steps)
+//	clamr:SxT    ∝ S²·T  (S² mesh over T timesteps)
+//
+// Malformed params fall back to each family's reference dims — pricing
+// never rejects a cell; validation is the plan layer's job.
+func (m *CostModel) StrikeCost(kernelSpec string) uint64 {
+	name, params, _ := strings.Cut(kernelSpec, ":")
+	switch name {
+	case "dgemm":
+		n := atoiOr(params, dgemmRefN)
+		return scale(dgemmRefNS, ratio2(n, dgemmRefN))
+	case "lavamd":
+		g := atoiOr(params, lavamdRefG)
+		return scale(lavamdRefNS, ratio3(g, lavamdRefG))
+	case "hotspot":
+		s, i := dimsOr(params, hotspotRefS, hotspotRefI)
+		return scale(hotspotRefNS, ratio2(s, hotspotRefS)*ratio(i, hotspotRefI))
+	case "clamr":
+		s, t := dimsOr(params, clamrRefS, clamrRefT)
+		return scale(clamrRefNS, ratio2(s, clamrRefS)*ratio(t, clamrRefT))
+	default:
+		if m != nil && m.DefaultNS > 0 {
+			return m.DefaultNS
+		}
+		return DefaultStrikeNS
+	}
+}
+
+// CellCost prices a whole cell: per-strike charge × strike budget.
+func (m *CostModel) CellCost(kernelSpec string, strikes int) uint64 {
+	if strikes < 1 {
+		strikes = 1
+	}
+	return m.StrikeCost(kernelSpec) * uint64(strikes)
+}
+
+func atoiOr(s string, def int) int {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return def
+	}
+	return v
+}
+
+func dimsOr(s string, defA, defB int) (int, int) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return defA, defB
+	}
+	return atoiOr(a, defA), atoiOr(b, defB)
+}
+
+func ratio(v, ref int) float64  { return float64(v) / float64(ref) }
+func ratio2(v, ref int) float64 { r := ratio(v, ref); return r * r }
+func ratio3(v, ref int) float64 { r := ratio(v, ref); return r * r * r }
+
+// scale applies a dimensional ratio to a reference charge, clamping to
+// at least 1 ns so no cell is ever free.
+func scale(refNS uint64, r float64) uint64 {
+	v := float64(refNS) * r
+	if v < 1 {
+		return 1
+	}
+	return uint64(v)
+}

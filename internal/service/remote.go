@@ -26,6 +26,12 @@ type RemoteCell struct {
 	Thresholds []float64
 	// Key is the cell's content address (campaign.CellKey).
 	Key string
+	// Tenant names the namespace the owning job was submitted under; the
+	// coordinator schedules pending work weighted-fairly across tenants
+	// using Weight and CostNS, exactly like the local executor queue.
+	Tenant string
+	Weight int
+	CostNS uint64
 	// PrevLog is the cell's checkpoint log so far — empty for a fresh
 	// cell, a salvageable #CHK-checkpointed prefix for one a previous
 	// attempt (local or remote) already progressed.

@@ -1,6 +1,8 @@
 // Package service turns the campaign engine into a long-lived,
-// multi-tenant job service: clients submit declarative Plans (PR 3), a
-// priority/FIFO queue feeds a bounded executor pool, every cell streams
+// multi-tenant job service: clients submit declarative Plans (PR 3) under
+// a tenant namespace, a cost-priced weighted-fair queue (internal/sched)
+// over per-tenant sub-queues feeds a bounded executor pool — within one
+// tenant the old priority/FIFO order holds exactly — every cell streams
 // through the engine with live progress, and the whole thing survives
 // restarts — in-flight cells checkpoint continuously (campaign
 // CheckpointSink) and a restarted manager resumes them from the last #CHK
@@ -24,7 +26,6 @@ package service
 
 import (
 	"bytes"
-	"container/heap"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -39,7 +40,9 @@ import (
 
 	"radcrit/internal/campaign"
 	"radcrit/internal/injector"
+	"radcrit/internal/sched"
 	"radcrit/internal/store"
+	"radcrit/internal/tenant"
 )
 
 // State is a job's lifecycle position.
@@ -84,6 +87,7 @@ type CellStatus struct {
 // Snapshot is a job's wire-facing status.
 type Snapshot struct {
 	ID           string       `json:"id"`
+	Tenant       string       `json:"tenant,omitempty"`
 	State        State        `json:"state"`
 	Priority     int          `json:"priority"`
 	Name         string       `json:"name,omitempty"`
@@ -194,6 +198,7 @@ const eventRingCap = 512
 // (Snapshot, JobResult).
 type Job struct {
 	ID       string
+	Tenant   string
 	Seq      uint64
 	Priority int
 	Plan     *campaign.Plan
@@ -209,7 +214,6 @@ type Job struct {
 	result     *JobResult
 	cancel     context.CancelFunc // non-nil while running
 	userCancel bool
-	heapIndex  int
 	eventSeq   uint64
 	events     []Event // ring of the last eventRingCap published events
 }
@@ -217,6 +221,7 @@ type Job struct {
 // jobRecord is job.json: what survives a restart.
 type jobRecord struct {
 	ID       string         `json:"id"`
+	Tenant   string         `json:"tenant,omitempty"`
 	Seq      uint64         `json:"seq"`
 	Priority int            `json:"priority"`
 	State    State          `json:"state"`
@@ -241,6 +246,14 @@ type Options struct {
 	// cell summaries live on in the store). Queued and running jobs are
 	// never pruned. <= 0 selects the default of 1024.
 	MaxJobs int
+	// Backend overrides the content-addressed result store (nil opens the
+	// disk store at StateDir/store). Keys written on behalf of non-default
+	// tenants carry store.TenantPrefix, so tenants never share dedup hits.
+	Backend store.Backend
+	// Tenants is the registry consulted for scheduling weights and
+	// admission quotas (nil builds an in-memory registry holding only the
+	// unlimited default tenant — the pre-tenancy behaviour).
+	Tenants *tenant.Registry
 	// Remote, when non-nil, offers each cell to a remote executor (the
 	// fleet coordinator) before running it locally. With a Remote set, a
 	// job's cells are dispatched concurrently — sharded across whatever
@@ -259,13 +272,33 @@ var ErrUnknownJob = errors.New("service: unknown job")
 // ErrDraining is returned by Submit once a drain has begun.
 var ErrDraining = errors.New("service: manager is draining")
 
+// ErrUnknownTenant is returned by SubmitAs for unregistered tenants.
+var ErrUnknownTenant = errors.New("service: unknown tenant")
+
+// QuotaError rejects a submission that would exceed the tenant's
+// admission quotas. The API layer renders it as 429 with a Retry-After
+// header; RetryAfter estimates when the tenant's backlog will have
+// drained enough for the submission to fit, from the cost model's
+// pricing of its outstanding work.
+type QuotaError struct {
+	Tenant     string
+	Detail     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q over quota: %s", e.Tenant, e.Detail)
+}
+
 // Manager owns the queue, the executor pool, the job table and the
 // result store. Create with New, start executors with Start, stop with
 // Drain — which checkpoints in-flight jobs so a successor Manager on the
 // same state directory resumes them.
 type Manager struct {
-	opts  Options
-	store *store.Store
+	opts    Options
+	store   store.Backend
+	tenants *tenant.Registry
+	cost    sched.CostModel
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -274,7 +307,7 @@ type Manager struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	jobs   map[string]*Job
-	queue  jobQueue
+	queue  *sched.Queue[*Job]
 	seq    uint64
 	closed bool
 	subs   map[string]map[chan Event]bool
@@ -294,9 +327,17 @@ func New(opts Options) (*Manager, error) {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 1024
 	}
-	st, err := store.Open(filepath.Join(opts.StateDir, "store"))
-	if err != nil {
-		return nil, err
+	backend := opts.Backend
+	if backend == nil {
+		st, err := store.Open(filepath.Join(opts.StateDir, "store"))
+		if err != nil {
+			return nil, err
+		}
+		backend = st
+	}
+	tenants := opts.Tenants
+	if tenants == nil {
+		tenants = tenant.NewRegistry()
 	}
 	if err := os.MkdirAll(filepath.Join(opts.StateDir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
@@ -304,10 +345,12 @@ func New(opts Options) (*Manager, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		opts:       opts,
-		store:      st,
+		store:      backend,
+		tenants:    tenants,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       map[string]*Job{},
+		queue:      sched.NewQueue[*Job](),
 		subs:       map[string]map[chan Event]bool{},
 	}
 	m.cond = sync.NewCond(&m.mu)
@@ -318,8 +361,11 @@ func New(opts Options) (*Manager, error) {
 	return m, nil
 }
 
-// Store exposes the result store (stats endpoints, tests).
-func (m *Manager) Store() *store.Store { return m.store }
+// Store exposes the result store backend (stats endpoints, tests).
+func (m *Manager) Store() store.Backend { return m.store }
+
+// Tenants exposes the tenant registry (API middleware, tests).
+func (m *Manager) Tenants() *tenant.Registry { return m.tenants }
 
 // load restores the job table from the state directory.
 func (m *Manager) load() error {
@@ -344,14 +390,17 @@ func (m *Manager) load() error {
 			continue // a plan this build can no longer run (deregistered kernel)
 		}
 		j := &Job{
-			ID:        rec.ID,
-			Seq:       rec.Seq,
-			Priority:  rec.Priority,
-			Plan:      rec.Plan,
-			State:     rec.State,
-			Error:     rec.Error,
-			Created:   rec.Created,
-			heapIndex: -1,
+			ID:       rec.ID,
+			Tenant:   rec.Tenant,
+			Seq:      rec.Seq,
+			Priority: rec.Priority,
+			Plan:     rec.Plan,
+			State:    rec.State,
+			Error:    rec.Error,
+			Created:  rec.Created,
+		}
+		if j.Tenant == "" {
+			j.Tenant = tenant.Default // records from a pre-tenancy daemon
 		}
 		j.cells = newCellStatuses(rec.Plan)
 		// A job that was mid-flight when the previous process stopped is
@@ -370,7 +419,7 @@ func (m *Manager) load() error {
 			m.seq = j.Seq + 1
 		}
 		if j.State == StateQueued {
-			heap.Push(&m.queue, j)
+			m.enqueueLocked(j)
 			m.persistJobLocked(j) // running -> queued transition
 		}
 	}
@@ -438,13 +487,34 @@ func (m *Manager) Start() {
 func (m *Manager) next() *Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.queue.Len() == 0 && !m.closed {
 		m.cond.Wait()
 	}
 	if m.closed {
 		return nil
 	}
-	return heap.Pop(&m.queue).(*Job)
+	j, _ := m.queue.Pop()
+	return j
+}
+
+// enqueueLocked pushes a queued job into the weighted-fair queue, pricing
+// it with the cost model and the tenant's current weight.
+func (m *Manager) enqueueLocked(j *Job) {
+	m.queue.Push(j.Tenant, m.tenants.Weight(j.Tenant), j.Priority, j.Seq, m.jobCost(j.Plan), j)
+}
+
+// jobCost prices a whole plan: the sum of its cells' estimated execution
+// charges. This is the charge the weighted-fair queue spends against the
+// tenant's virtual time when the job is popped.
+func (m *Manager) jobCost(p *campaign.Plan) uint64 {
+	var total uint64
+	for _, c := range p.Cells {
+		total += m.cost.CellCost(c.Kernel, p.Strikes)
+	}
+	if total == 0 {
+		total = 1
+	}
+	return total
 }
 
 // Drain stops the service gracefully: no new submissions, queued jobs
@@ -472,31 +542,46 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 }
 
-// Submit validates and enqueues a plan at the given priority (higher runs
-// first; equal priorities run in submission order) and returns the new
-// job's snapshot.
+// Submit validates and enqueues a plan for the default tenant at the
+// given priority (within a tenant, higher runs first and equal priorities
+// run in submission order) and returns the new job's snapshot.
 func (m *Manager) Submit(p *campaign.Plan, priority int) (Snapshot, error) {
+	return m.SubmitAs(tenant.Default, p, priority)
+}
+
+// SubmitAs is Submit under a tenant namespace: the tenant must be
+// registered, its admission quotas are checked against its outstanding
+// work (a breach returns a *QuotaError carrying a Retry-After estimate),
+// and the job is queued into the tenant's weighted-fair sub-queue.
+func (m *Manager) SubmitAs(tenantName string, p *campaign.Plan, priority int) (Snapshot, error) {
 	if err := p.Validate(); err != nil {
 		return Snapshot{}, err
+	}
+	tn, ok := m.tenants.Get(tenantName)
+	if !ok {
+		return Snapshot{}, fmt.Errorf("%w: %q", ErrUnknownTenant, tenantName)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return Snapshot{}, ErrDraining
 	}
+	if qerr := m.checkQuotasLocked(tn, p); qerr != nil {
+		return Snapshot{}, qerr
+	}
 	id, err := m.newIDLocked()
 	if err != nil {
 		return Snapshot{}, err
 	}
 	j := &Job{
-		ID:        id,
-		Seq:       m.seq,
-		Priority:  priority,
-		Plan:      p,
-		State:     StateQueued,
-		Created:   time.Now(),
-		cells:     newCellStatuses(p),
-		heapIndex: -1,
+		ID:       id,
+		Tenant:   tn.Name,
+		Seq:      m.seq,
+		Priority: priority,
+		Plan:     p,
+		State:    StateQueued,
+		Created:  time.Now(),
+		cells:    newCellStatuses(p),
 	}
 	m.seq++
 	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
@@ -506,10 +591,74 @@ func (m *Manager) Submit(p *campaign.Plan, priority int) (Snapshot, error) {
 		return Snapshot{}, err
 	}
 	m.jobs[id] = j
-	heap.Push(&m.queue, j)
+	m.enqueueLocked(j)
 	m.cond.Signal()
 	m.pruneJobsLocked()
 	return m.snapshotLocked(j), nil
+}
+
+// tenantUsage aggregates one tenant's outstanding (non-terminal) work.
+type tenantUsage struct {
+	queuedJobs     int
+	inflightCells  int
+	plannedStrikes int
+	outstandingNS  uint64
+}
+
+func (m *Manager) tenantUsageLocked(name string) tenantUsage {
+	var u tenantUsage
+	for _, j := range m.jobs {
+		if j.Tenant != name || terminal(j.State) {
+			continue
+		}
+		if j.State == StateQueued {
+			u.queuedJobs++
+		}
+		for _, c := range j.cells {
+			if c.State != "done" && c.State != "failed" {
+				u.inflightCells++
+			}
+		}
+		u.plannedStrikes += j.Plan.Strikes * len(j.Plan.Cells)
+		u.outstandingNS += m.jobCost(j.Plan)
+	}
+	return u
+}
+
+// checkQuotasLocked admits or rejects one submission against the
+// tenant's quotas. The Retry-After estimate divides the tenant's
+// outstanding priced work across the executor pool — deterministic, and
+// honest enough to spread thundering-herd retries.
+func (m *Manager) checkQuotasLocked(tn tenant.Tenant, p *campaign.Plan) error {
+	q := tn.Quotas
+	if q == (tenant.Quotas{}) {
+		return nil
+	}
+	u := m.tenantUsageLocked(tn.Name)
+	retryAfter := func() time.Duration {
+		d := time.Duration(u.outstandingNS/uint64(m.opts.Executors)) * time.Nanosecond
+		if d < time.Second {
+			d = time.Second
+		}
+		if d > time.Minute {
+			d = time.Minute
+		}
+		return d
+	}
+	if q.MaxQueuedJobs > 0 && u.queuedJobs+1 > q.MaxQueuedJobs {
+		return &QuotaError{Tenant: tn.Name, RetryAfter: retryAfter(),
+			Detail: fmt.Sprintf("queued jobs %d at limit %d", u.queuedJobs, q.MaxQueuedJobs)}
+	}
+	if q.MaxInflightCells > 0 && u.inflightCells+len(p.Cells) > q.MaxInflightCells {
+		return &QuotaError{Tenant: tn.Name, RetryAfter: retryAfter(),
+			Detail: fmt.Sprintf("in-flight cells %d + %d over limit %d", u.inflightCells, len(p.Cells), q.MaxInflightCells)}
+	}
+	add := p.Strikes * len(p.Cells)
+	if q.MaxPlannedStrikes > 0 && u.plannedStrikes+add > q.MaxPlannedStrikes {
+		return &QuotaError{Tenant: tn.Name, RetryAfter: retryAfter(),
+			Detail: fmt.Sprintf("planned strikes %d + %d over limit %d", u.plannedStrikes, add, q.MaxPlannedStrikes)}
+	}
+	return nil
 }
 
 // pruneJobsLocked evicts the oldest terminal jobs once the table exceeds
@@ -580,6 +729,56 @@ func (m *Manager) Jobs() []Snapshot {
 	return out
 }
 
+// TenantStat is one tenant's live scheduling picture: weight, queue
+// depth, per-state job counts and strike progress. The API surfaces it
+// on /v1/tenants, the fleet health JSON and the jobs listing; radload
+// samples it mid-drain to measure fairness while both tenants still
+// have backlog.
+type TenantStat struct {
+	Tenant       string        `json:"tenant"`
+	Weight       int           `json:"weight"`
+	QueueDepth   int           `json:"queue_depth"`
+	Jobs         map[State]int `json:"jobs,omitempty"`
+	StrikesDone  int           `json:"strikes_done"`
+	StrikesTotal int           `json:"strikes_total"`
+}
+
+// TenantStats reports every registered tenant (idle ones included) plus
+// any tenant that still owns job records, sorted by name.
+func (m *Manager) TenantStats() []TenantStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	stats := map[string]*TenantStat{}
+	get := func(name string) *TenantStat {
+		ts, ok := stats[name]
+		if !ok {
+			ts = &TenantStat{Tenant: name, Weight: m.tenants.Weight(name), Jobs: map[State]int{}}
+			stats[name] = ts
+		}
+		return ts
+	}
+	for _, t := range m.tenants.All() {
+		get(t.Name)
+	}
+	for _, j := range m.jobs {
+		ts := get(j.Tenant)
+		ts.Jobs[j.State]++
+		ts.StrikesTotal += j.Plan.Strikes * len(j.Plan.Cells)
+		for _, c := range j.cells {
+			ts.StrikesDone += c.Strikes
+		}
+	}
+	for name, depth := range m.queue.Depths() {
+		get(name).QueueDepth = depth
+	}
+	out := make([]TenantStat, 0, len(stats))
+	for _, ts := range stats {
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Tenant < out[k].Tenant })
+	return out
+}
+
 // Result returns a finished job's per-cell summaries (ErrNotFinished
 // while the job is queued or running).
 func (m *Manager) Result(id string) (*JobResult, error) {
@@ -617,9 +816,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 	}
 	switch {
 	case j.State == StateQueued:
-		if j.heapIndex >= 0 {
-			heap.Remove(&m.queue, j.heapIndex)
-		}
+		m.queue.Remove(j.Tenant, j.Seq)
 		j.State = StateCancelled
 		j.Error = "cancelled by client"
 		now := time.Now()
@@ -712,6 +909,7 @@ func (m *Manager) publishLocked(ev Event) {
 func (m *Manager) snapshotLocked(j *Job) Snapshot {
 	s := Snapshot{
 		ID:           j.ID,
+		Tenant:       j.Tenant,
 		State:        j.State,
 		Priority:     j.Priority,
 		Name:         j.Plan.Name,
@@ -747,6 +945,7 @@ func (m *Manager) resultPath(id string) string {
 func (m *Manager) persistJobLocked(j *Job) error {
 	rec := jobRecord{
 		ID:       j.ID,
+		Tenant:   j.Tenant,
 		Seq:      j.Seq,
 		Priority: j.Priority,
 		State:    j.State,
@@ -988,6 +1187,12 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 	spec := j.Plan.Cells[i]
 	total := cfg.Strikes
 	cr := CellResult{Spec: spec, Key: campaign.CellKey(spec, cfg, ts)}
+	// The wire-facing Key stays the canonical content address (identical
+	// to a direct StreamRunner run's), but store accesses go through the
+	// tenant-prefixed key so namespaces never share dedup hits. The
+	// default tenant is unprefixed: pre-tenancy state directories keep
+	// their entries.
+	skey := store.TenantPrefix(j.Tenant) + cr.Key
 	logPath := m.cellLogPath(j.ID, i)
 
 	// A previous incarnation of this job already finished this cell.
@@ -1000,8 +1205,9 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 		}
 	}
 
-	// Content-addressed store: identical cell already computed anywhere.
-	if data, ok := m.store.Get(cr.Key); ok {
+	// Content-addressed store: identical cell already computed anywhere
+	// in this tenant's namespace.
+	if data, ok := m.store.Get(skey); ok {
 		var rec StoreRecord
 		if err := json.Unmarshal(data, &rec); err == nil && rec.Summary != nil {
 			cr.Cached = true
@@ -1011,7 +1217,7 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 			m.finishCell(j, i, &cr, total)
 			return cr, nil
 		}
-		_ = m.store.Delete(cr.Key) // torn/alien entry: recompute
+		_ = m.store.Delete(skey) // torn/alien entry: recompute
 	}
 
 	m.setCellState(j, i, CellStatus{State: "running", Total: total}, false)
@@ -1027,6 +1233,8 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 		prev, _ := os.ReadFile(logPath)
 		res, rerr := m.opts.Remote.RunRemote(jctx, RemoteCell{
 			JobID: j.ID, Cell: i, Spec: spec, Cfg: cfg, Thresholds: ts, Key: cr.Key,
+			Tenant: j.Tenant, Weight: m.tenants.Weight(j.Tenant),
+			CostNS:   m.cost.CellCost(spec.Kernel, cfg.Strikes),
 			PrevLog:  prev,
 			Progress: relay.FlushChunk,
 			SaveLog:  func(log []byte) { _ = writeFileAtomic(logPath, log) },
@@ -1095,7 +1303,7 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 	cr.Info = &info
 	cr.Summary = sum
 	if data, err := json.Marshal(StoreRecord{Key: cr.Key, Spec: spec, Info: cr.Info, Summary: sum}); err == nil {
-		if m.store.Put(cr.Key, data) == nil && m.opts.StoreCap > 0 {
+		if m.store.Put(skey, data) == nil && m.opts.StoreCap > 0 {
 			_, _, _ = m.store.GC(m.opts.StoreCap)
 		}
 	}

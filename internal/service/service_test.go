@@ -1,7 +1,6 @@
 package service
 
 import (
-	"container/heap"
 	"context"
 	"encoding/json"
 	"os"
@@ -9,14 +8,18 @@ import (
 	"time"
 
 	"radcrit/internal/campaign"
+	"radcrit/internal/sched"
+	"radcrit/internal/tenant"
 )
 
-// TestQueuePriorityFIFO pins the scheduler's pop order: higher priority
-// first, FIFO within a priority.
+// TestQueuePriorityFIFO pins the scheduler's single-tenant pop order:
+// higher priority first, FIFO within a priority — the pre-tenancy
+// contract, which the weighted-fair queue degenerates to when only the
+// default tenant submits.
 func TestQueuePriorityFIFO(t *testing.T) {
-	var q jobQueue
+	q := sched.NewQueue[*Job]()
 	push := func(id string, prio int, seq uint64) {
-		heap.Push(&q, &Job{ID: id, Priority: prio, Seq: seq})
+		q.Push(tenant.Default, 1, prio, seq, 100, &Job{ID: id, Priority: prio, Seq: seq})
 	}
 	push("a", 0, 1)
 	push("b", 0, 2)
@@ -24,8 +27,12 @@ func TestQueuePriorityFIFO(t *testing.T) {
 	push("c", 0, 4)
 	push("warm", 2, 5)
 	var got []string
-	for q.Len() > 0 {
-		got = append(got, heap.Pop(&q).(*Job).ID)
+	for {
+		j, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, j.ID)
 	}
 	want := []string{"hot", "warm", "a", "b", "c"}
 	for i := range want {
@@ -438,10 +445,11 @@ func TestPriorityScheduling(t *testing.T) {
 	m.mu.Lock()
 	var order []string
 	for m.queue.Len() > 0 {
-		order = append(order, heap.Pop(&m.queue).(*Job).ID)
+		j, _ := m.queue.Pop()
+		order = append(order, j.ID)
 	}
 	for _, id := range order { // restore
-		heap.Push(&m.queue, m.jobs[id])
+		m.enqueueLocked(m.jobs[id])
 	}
 	m.mu.Unlock()
 	want := []string{high.ID, low1.ID, low2.ID}

@@ -1,0 +1,136 @@
+package store
+
+import (
+	"sort"
+	"sync"
+)
+
+// Mem is an in-memory Backend: the disk Store's semantics without the
+// disk. Recency is a logical clock (bumped on Put and Get) instead of
+// mtimes, which makes LRU order exact where the disk store's mtime
+// granularity could tie. Use it for tests and for ephemeral daemons
+// (-store-backend mem) where cross-restart dedup is not wanted.
+type Mem struct {
+	mu      sync.Mutex
+	entries map[string]*memEntry
+	clock   uint64
+}
+
+type memEntry struct {
+	data []byte
+	tick uint64
+}
+
+// NewMem builds an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{entries: map[string]*memEntry{}}
+}
+
+// Put stores a private copy of data under key.
+func (m *Mem) Put(key string, data []byte) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.entries[key] = &memEntry{data: cp, tick: m.clock}
+	return nil
+}
+
+// Get returns a private copy of the entry and refreshes its recency.
+func (m *Mem) Get(key string) ([]byte, bool) {
+	if ValidKey(key) != nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, false
+	}
+	m.clock++
+	e.tick = m.clock
+	cp := make([]byte, len(e.data))
+	copy(cp, e.data)
+	return cp, true
+}
+
+// Has reports presence without refreshing recency.
+func (m *Mem) Has(key string) bool {
+	if ValidKey(key) != nil {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.entries[key]
+	return ok
+}
+
+// Delete removes key's entry (a no-op when absent).
+func (m *Mem) Delete(key string) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, key)
+	return nil
+}
+
+// Stats returns the entry count and total byte size.
+func (m *Mem) Stats() (int, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var bytes int64
+	for _, e := range m.entries {
+		bytes += int64(len(e.data))
+	}
+	return len(m.entries), bytes, nil
+}
+
+// GC evicts least-recently-used entries until total size is at most
+// maxBytes. Ties (impossible under the logical clock, but kept for
+// contract symmetry) break on key order.
+func (m *Mem) GC(maxBytes int64) (int, int64, error) {
+	if maxBytes <= 0 {
+		return 0, 0, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	type rec struct {
+		key  string
+		size int64
+		tick uint64
+	}
+	recs := make([]rec, 0, len(m.entries))
+	for k, e := range m.entries {
+		sz := int64(len(e.data))
+		total += sz
+		recs = append(recs, rec{key: k, size: sz, tick: e.tick})
+	}
+	if total <= maxBytes {
+		return 0, 0, nil
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].tick != recs[j].tick {
+			return recs[i].tick < recs[j].tick
+		}
+		return recs[i].key < recs[j].key
+	})
+	var evicted int
+	var reclaimed int64
+	for _, r := range recs {
+		if total <= maxBytes {
+			break
+		}
+		delete(m.entries, r.key)
+		total -= r.size
+		reclaimed += r.size
+		evicted++
+	}
+	return evicted, reclaimed, nil
+}

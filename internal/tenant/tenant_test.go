@@ -1,0 +1,109 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDefaultAlwaysPresent(t *testing.T) {
+	r := NewRegistry()
+	d, ok := r.Get(Default)
+	if !ok {
+		t.Fatal("default tenant missing from a fresh registry")
+	}
+	if d.EffectiveWeight() != 1 || d.Token != "" {
+		t.Fatalf("default tenant = %+v, want weight 1, no token", d)
+	}
+	if r.Weight("never-registered") != 1 {
+		t.Errorf("unknown tenant weight = %d, want 1", r.Weight("never-registered"))
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := Tenant{Name: "alpha", Weight: 3, Token: "tok-alpha",
+		Quotas: Quotas{MaxQueuedJobs: 10, MaxPlannedStrikes: 5000}}
+	beta := Tenant{Name: "beta", Weight: 1}
+	for _, tn := range []Tenant{alpha, beta} {
+		if err := r.Upsert(tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r2.Get("alpha")
+	if !ok || got != alpha {
+		t.Fatalf("reloaded alpha = %+v ok=%v, want %+v", got, ok, alpha)
+	}
+	if byTok, ok := r2.ResolveToken("tok-alpha"); !ok || byTok.Name != "alpha" {
+		t.Fatalf("ResolveToken = %+v ok=%v", byTok, ok)
+	}
+	if _, ok := r2.ResolveToken("wrong"); ok {
+		t.Error("unknown token resolved")
+	}
+	if _, ok := r2.ResolveToken(""); ok {
+		t.Error("empty token resolved")
+	}
+	if all := r2.All(); len(all) != 3 { // alpha, beta, default
+		t.Fatalf("All() = %d tenants, want 3", len(all))
+	}
+	if r2.Weight("alpha") != 3 || r2.Weight("beta") != 1 {
+		t.Errorf("weights alpha=%d beta=%d", r2.Weight("alpha"), r2.Weight("beta"))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := []Tenant{
+		{Name: ""},
+		{Name: "Has-Upper"},
+		{Name: "spaces no"},
+		{Name: "x", Weight: -1},
+		{Name: "x", Quotas: Quotas{MaxQueuedJobs: -2}},
+	}
+	for _, tn := range bad {
+		if err := r.Upsert(tn); err == nil {
+			t.Errorf("Upsert(%+v) accepted, want error", tn)
+		}
+	}
+	if err := r.Upsert(Tenant{Name: "a", Token: "shared"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upsert(Tenant{Name: "b", Token: "shared"}); err == nil {
+		t.Error("token collision accepted")
+	}
+	// Re-registering the same tenant with a new token frees the old one.
+	if err := r.Upsert(Tenant{Name: "a", Token: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.ResolveToken("shared"); ok {
+		t.Error("replaced token still resolves")
+	}
+	if tn, ok := r.ResolveToken("fresh"); !ok || tn.Name != "a" {
+		t.Errorf("new token resolves to %+v ok=%v", tn, ok)
+	}
+}
+
+func TestLoadRejectsBadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants":[{"name":"BAD NAME"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted an invalid tenant name")
+	}
+	if err := os.WriteFile(path, []byte(`not json`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted malformed JSON")
+	}
+}
