@@ -77,16 +77,24 @@ func main() {
 	coordinator := flag.String("coordinator", "http://127.0.0.1:8447", "worker: coordinator base URL")
 	name := flag.String("name", "", "worker: label shown in fleet health (default: hostname)")
 	throttle := flag.Duration("throttle-chunk", 0, "worker: pause after each checkpoint chunk (pacing for chaos/failure drills)")
+	var prof cli.ProfileFlags
+	prof.Bind(flag.CommandLine)
 	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
 	cli.ExitIfVersion(*showVersion)
 
+	if err := prof.Start(); err != nil {
+		cli.Fatal("radcritd", "%v", err)
+	}
+
 	if *oneshot != "" {
 		runOneshot(*oneshot)
+		stopProfiles(&prof)
 		return
 	}
 	if *worker {
 		runWorker(*coordinator, *name, *throttle)
+		stopProfiles(&prof)
 		return
 	}
 
@@ -172,7 +180,16 @@ func main() {
 	if coord != nil {
 		coord.Close()
 	}
+	stopProfiles(&prof)
 	logger.Printf("drained cleanly")
+}
+
+// stopProfiles flushes -cpuprofile/-memprofile on the tool's clean exit
+// paths (serve drain, oneshot, worker stop); error exits abandon them.
+func stopProfiles(prof *cli.ProfileFlags) {
+	if err := prof.Stop(); err != nil {
+		cli.Fatal("radcritd", "%v", err)
+	}
 }
 
 // runWorker joins a coordinator's fleet and processes leases until

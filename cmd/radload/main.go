@@ -139,9 +139,15 @@ func main() {
 	wait := flag.Bool("wait", true, "wait for the daemon to drain and record fairness samples")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall deadline")
 	out := flag.String("out", "BENCH_service.json", "report `file` (- for stdout)")
+	var prof cli.ProfileFlags
+	prof.Bind(flag.CommandLine)
 	showVersion := cli.VersionFlag(flag.CommandLine)
 	flag.Parse()
 	cli.ExitIfVersion(*showVersion)
+
+	if err := prof.Start(); err != nil {
+		cli.Fatal("radload", "%v", err)
+	}
 
 	specs, err := parseTenants(*tenantsFlag)
 	if err != nil {
@@ -385,6 +391,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "radload: %d submissions (%d rejected-then-retried) in %.2fs, drain %.2fs, report: %s\n",
 		rep.Submissions.Total, rep.Submissions.Rejected429, rep.Submissions.DurationSeconds, rep.DrainSeconds, *out)
+	if err := prof.Stop(); err != nil {
+		cli.Fatal("radload", "%v", err)
+	}
 }
 
 // submit POSTs one plan as a tenant and reports (status, Retry-After).

@@ -1,0 +1,107 @@
+package campaign
+
+// Batch-seam determinism suite (DESIGN.md §13): Session.RunBatch and every
+// kernel's RunInjectedBatch implementation must be bit-identical to the
+// per-strike RunOne path, at every span split, for every kernel family.
+
+import (
+	"testing"
+
+	"radcrit/internal/beam"
+	"radcrit/internal/fault"
+	"radcrit/internal/injector"
+	"radcrit/internal/kernels"
+	"radcrit/internal/xrand"
+)
+
+// strikeAtIndex derives strike i exactly as the streaming engine does.
+func strikeAtIndex(base *xrand.RNG, i int) (fault.Strike, *xrand.RNG) {
+	sub := base.Split(uint64(i) + 1)
+	return fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}, sub
+}
+
+func requireSameOutcome(t *testing.T, label string, i int, got, want injector.Outcome) {
+	t.Helper()
+	if got.Class != want.Class || got.Resource != want.Resource || got.Scope != want.Scope {
+		t.Fatalf("%s strike %d: outcome (%v,%v,%v) != (%v,%v,%v)", label, i,
+			got.Class, got.Resource, got.Scope, want.Class, want.Resource, want.Scope)
+	}
+	if (got.Report == nil) != (want.Report == nil) {
+		t.Fatalf("%s strike %d: report presence differs", label, i)
+	}
+	if got.Report != nil && !sameReport(got.Report, want.Report) {
+		t.Fatalf("%s strike %d: reports differ", label, i)
+	}
+}
+
+// TestBatchMatchesRunOneBitIdentical runs the same strike population
+// through RunOne (one call per strike) and RunBatch (several span splits,
+// including span=1 and one whole-population span) and requires bit-equal
+// classifications and reports everywhere.
+func TestBatchMatchesRunOneBitIdentical(t *testing.T) {
+	const strikes = 160
+	for _, cell := range determinismCells() {
+		if _, ok := cell.Kern.(kernels.BatchRunner); !ok {
+			t.Errorf("%s: kernel does not implement the batch seam", cell.Kern.Name())
+		}
+		sesOne, err := injector.NewSession(cell.Dev, cell.Kern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := xrand.New(0xBA7C4)
+		want := make([]injector.Outcome, strikes)
+		for i := 0; i < strikes; i++ {
+			strike, sub := strikeAtIndex(base, i)
+			want[i] = sesOne.RunOne(strike, sub)
+		}
+
+		for _, span := range []int{1, 7, 32, strikes} {
+			sesBatch, err := injector.NewSession(cell.Dev, cell.Kern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]injector.Outcome, strikes)
+			strikesBuf := make([]fault.Strike, strikes)
+			rngs := make([]*xrand.RNG, strikes)
+			for i := 0; i < strikes; i++ {
+				strikesBuf[i], rngs[i] = strikeAtIndex(base, i)
+			}
+			for lo := 0; lo < strikes; lo += span {
+				hi := min(lo+span, strikes)
+				sesBatch.RunBatch(strikesBuf[lo:hi], rngs[lo:hi], got[lo:hi])
+			}
+			for i := 0; i < strikes; i++ {
+				requireSameOutcome(t, cell.Kern.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchFallbackMatchesRunOne pins kernels.RunBatchFallback itself: a
+// kernel stripped of its BatchRunner seam must flow through the fallback
+// loop and still match RunOne bit for bit.
+func TestBatchFallbackMatchesRunOne(t *testing.T) {
+	cell := determinismCells()[0]
+	ses, err := injector.NewSession(cell.Dev, cell.Kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := xrand.New(0xFA11)
+	const strikes = 64
+	golden := cell.Kern.Golden(cell.Dev)
+	for i := 0; i < strikes; i++ {
+		strike, sub := strikeAtIndex(base, i)
+		syn := cell.Dev.ResolveStrike(ses.Profile(), strike, sub)
+		if syn.Outcome != fault.SDC {
+			continue
+		}
+		_, ref := strikeAtIndex(base, i)
+		refSyn := cell.Dev.ResolveStrike(ses.Profile(), strike, ref)
+		want := cell.Kern.RunInjectedPooled(golden, refSyn.Injection, ref, nil)
+		batch := []kernels.BatchStrike{{Inj: syn.Injection, RNG: sub}}
+		kernels.RunBatchFallback(cell.Kern, golden, batch, nil)
+		if !sameReport(batch[0].Report, want) {
+			t.Fatalf("strike %d: fallback report differs from direct pooled run", i)
+		}
+	}
+}

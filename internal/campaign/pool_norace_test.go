@@ -76,3 +76,38 @@ func TestMaskedStrikeAllocBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestLavaMDMixedStrikeAllocBounds tightens the alloc contract on the
+// path that used to leak ~115 objects per strike: LavaMD's full mixed
+// population, SDC strikes included. With the golden-sum tables the SDC
+// paths read SoA state instead of boxing cached potentials in a sync.Map
+// and allocating per-call closures, so a warmed-up mixed strike averages
+// at most 2 allocations (the per-index RNG split plus pool jitter and
+// occasional mismatch-slice growth).
+//
+// Excluded under -race: the race runtime's instrumentation allocates.
+func TestLavaMDMixedStrikeAllocBounds(t *testing.T) {
+	cell := determinismCells()[1] // phi x lavamd
+	ses, err := injector.NewSession(cell.Dev, cell.Kern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := xrand.New(0x1A7A)
+	const cycle = 64
+	runStrike := func(i uint64) {
+		sub := base.Split(i + 1)
+		strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+		out := ses.RunOne(strike, sub)
+		ses.ReleaseReport(out.Report)
+	}
+	runCycle := func() {
+		for i := uint64(0); i < cycle; i++ {
+			runStrike(i)
+		}
+	}
+	runCycle() // warm every pool and golden-sum table
+	perStrike := testing.AllocsPerRun(5, runCycle) / cycle
+	if perStrike > 2 {
+		t.Errorf("LavaMD mixed population allocates %.2f objects/strike, want <= 2", perStrike)
+	}
+}

@@ -150,17 +150,26 @@ func RunStreamingFromCtx(ctx context.Context, dev arch.Device, kern kernels.Kern
 	if start < 0 {
 		start = 0
 	}
-	buf := make([]injector.Outcome, min(chunk, max(cfg.Strikes-start, 0)))
+	bufLen := min(chunk, max(cfg.Strikes-start, 0))
+	buf := make([]injector.Outcome, bufLen)
+	strikes := make([]fault.Strike, bufLen)
+	rngs := make([]*xrand.RNG, bufLen)
 	for base := start; base < cfg.Strikes; base += chunk {
 		if err := ctx.Err(); err != nil {
 			return info, err
 		}
 		n := min(chunk, cfg.Strikes-base)
-		err := par.ForCtx(ctx, n, cfg.Workers, func(j int) {
-			i := base + j
-			sub := rng.Split(uint64(i) + 1)
-			strike := fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
-			buf[j] = ses.RunOne(strike, sub)
+		// Each claimed span runs through the session's batch path: strikes
+		// derive their RNG from the per-index split as before (bit-identity
+		// at any worker count), but the kernel sees the whole span at once,
+		// keeping its scratch and golden tables cache-hot across strikes.
+		err := par.ForSpansCtx(ctx, n, cfg.Workers, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sub := rng.Split(uint64(base+j) + 1)
+				strikes[j] = fault.Strike{When: sub.Float64(), Energy: beam.StrikeEnergy(sub)}
+				rngs[j] = sub
+			}
+			ses.RunBatch(strikes[lo:hi], rngs[lo:hi], buf[lo:hi])
 		})
 		if err != nil {
 			// The chunk may be partially executed: discard it whole so the

@@ -10,6 +10,8 @@
 package injector
 
 import (
+	"sync"
+
 	"radcrit/internal/arch"
 	"radcrit/internal/beam"
 	"radcrit/internal/fault"
@@ -46,6 +48,16 @@ type Session struct {
 	prof    arch.Profile
 	golden  kernels.GoldenState
 	reports metrics.ReportPool
+	// batches recycles the per-span strike-assembly buffers of RunBatch.
+	batches sync.Pool
+}
+
+// batchBuf is one recyclable RunBatch working set: the SDC strikes
+// collected for the kernel's batch seam and their positions in the
+// caller's outcome slice.
+type batchBuf struct {
+	items []kernels.BatchStrike
+	idx   []int
 }
 
 // NewSession prepares a session for kern on dev, validating the profile.
@@ -99,6 +111,48 @@ func (s *Session) RunOne(strike fault.Strike, rng *xrand.RNG) Outcome {
 	}
 	out.Report = rep
 	return out
+}
+
+// RunBatch executes a span of strikes and classifies each into outs. It
+// is bit-identical to calling RunOne per index — every strike consumes
+// only its own rngs[i], so resolving all syndromes up front and running
+// the SDC survivors through the kernel's cross-strike batch seam
+// (kernels.BatchRunner, falling back to a RunInjectedPooled loop) changes
+// locality, not results. Report ownership matches RunOne: non-nil
+// Outcome.Reports are borrowed from the session pool.
+//
+// strikes, rngs and outs must have equal lengths.
+func (s *Session) RunBatch(strikes []fault.Strike, rngs []*xrand.RNG, outs []Outcome) {
+	bb, _ := s.batches.Get().(*batchBuf)
+	if bb == nil {
+		bb = &batchBuf{}
+	}
+	items, idx := bb.items[:0], bb.idx[:0]
+	for i := range strikes {
+		syn := s.dev.ResolveStrike(s.prof, strikes[i], rngs[i])
+		outs[i] = Outcome{Class: syn.Outcome, Resource: syn.Resource, Scope: syn.Injection.Scope}
+		if syn.Outcome != fault.SDC {
+			continue
+		}
+		items = append(items, kernels.BatchStrike{Inj: syn.Injection, RNG: rngs[i]})
+		idx = append(idx, i)
+	}
+	kernels.RunBatch(s.kern, s.golden, items, &s.reports)
+	for j, i := range idx {
+		rep := items[j].Report
+		items[j].Report = nil // the pooled buffer must not retain reports
+		items[j].RNG = nil
+		if rep == nil || rep.Count() == 0 {
+			// Logically masked: the corrupted state never reached the
+			// output. The empty report goes straight back to the pool.
+			s.reports.Put(rep)
+			outs[i].Class = fault.Masked
+			continue
+		}
+		outs[i].Report = rep
+	}
+	bb.items, bb.idx = items, idx
+	s.batches.Put(bb)
 }
 
 // ReleaseReport returns a report obtained from RunOne to the session's

@@ -176,6 +176,7 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
+var _ kernels.BatchRunner = (*Kernel)(nil)
 
 // Check reports whether (side, steps) is a valid CLAMR configuration
 // without running the golden simulation: the non-panicking face of New's
@@ -637,14 +638,48 @@ func (k *Kernel) RunInjectedDetailedOn(gs kernels.GoldenState, inj arch.Injectio
 // reports (nil degrades to plain allocation).
 func (k *Kernel) runInjectedDetailed(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) (*metrics.Report, Detail) {
 	g := gs.(*goldenTimeline)
+	t0 := k.injectionStep(inj)
+	sc := g.scr.Get()
+	rep, det := k.runInjectedWith(g, sc, g.stateAt(t0), t0, inj, rng, reports)
+	g.scr.Put(sc)
+	return rep, det
+}
+
+// RunInjectedBatch implements kernels.BatchRunner: the whole batch shares
+// one borrowed pair of working states, and the strike-time golden state
+// lookup is hoisted across consecutive strikes landing on the same
+// timestep.
+func (k *Kernel) RunInjectedBatch(gs kernels.GoldenState, batch []kernels.BatchStrike, reports *metrics.ReportPool) {
+	g := gs.(*goldenTimeline)
+	sc := g.scr.Get()
+	lastT0 := -1
+	var st *state
+	for i := range batch {
+		t0 := k.injectionStep(batch[i].Inj)
+		if t0 != lastT0 {
+			st = g.stateAt(t0)
+			lastT0 = t0
+		}
+		batch[i].Report, _ = k.runInjectedWith(g, sc, st, t0, batch[i].Inj, batch[i].RNG, reports)
+	}
+	g.scr.Put(sc)
+}
+
+// injectionStep maps an injection's progress fraction to its timestep.
+func (k *Kernel) injectionStep(inj arch.Injection) int {
 	t0 := int(inj.When * float64(k.steps))
 	if t0 >= k.steps {
 		t0 = k.steps - 1
 	}
+	return t0
+}
+
+// runInjectedWith executes one injection against externally owned scratch
+// and a pre-resolved strike-time golden state (st == stateAt(t0)).
+func (k *Kernel) runInjectedWith(g *goldenTimeline, sc *injectScratch, st *state, t0 int, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) (*metrics.Report, Detail) {
 	n := k.side * k.side
-	sc := g.scr.Get()
 	cur, next := sc.cur, sc.next
-	cur.copyFrom(g.stateAt(t0))
+	cur.copyFrom(st)
 
 	var frozen []bool
 	frozenUntil := -1
@@ -712,7 +747,6 @@ func (k *Kernel) runInjectedDetailed(gs kernels.GoldenState, inj arch.Injection,
 	if frozen != nil {
 		clear(sc.frozen) // restore the pool's all-false invariant
 	}
-	g.scr.Put(sc)
 	det := Detail{
 		MaxMassDriftRel: maxDrift,
 		MassCheckFired:  maxDrift > k.MassCheckThresholdRel(),

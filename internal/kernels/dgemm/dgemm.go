@@ -40,6 +40,7 @@ type Kernel struct {
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
+var _ kernels.BatchRunner = (*Kernel)(nil)
 
 // Check reports whether n is a valid DGEMM input size without building
 // anything: the non-panicking face of New's precondition, used by plan
@@ -215,10 +216,9 @@ type faultyCell struct {
 	read, expected float64
 }
 
-func (k *Kernel) newRun(g *goldenProduct, reports *metrics.ReportPool) *run {
-	sc := g.scr.Get()
+func (k *Kernel) newRun(g *goldenProduct, sc *runScratch, reports *metrics.ReportPool) run {
 	sc.cells.Clear()
-	return &run{
+	return run{
 		k:      k,
 		golden: g,
 		sc:     sc,
@@ -249,10 +249,11 @@ func (r *run) record(i, j int, faulty float64) {
 	r.recordWith(i, j, faulty, r.goldenRow(i)[j])
 }
 
-// finish converts stored corrupted values into the mismatch report and
-// releases the scratch. Mismatches are emitted in ascending flat-index
-// (row-major) order so the report is a deterministic function of the
-// corrupted set, exactly as the pre-pooling sort emitted them.
+// finish converts stored corrupted values into the mismatch report.
+// Mismatches are emitted in ascending flat-index (row-major) order so the
+// report is a deterministic function of the corrupted set, exactly as the
+// pre-pooling sort emitted them. The scratch stays with the caller, so a
+// batch of strikes can reuse it back to back.
 func (r *run) finish() *metrics.Report {
 	n := r.k.n
 	for _, key := range r.sc.cells.SortedKeys() {
@@ -268,8 +269,6 @@ func (r *run) finish() *metrics.Report {
 			RelErrPct: metrics.RelativeErrorPct(c.read, c.expected),
 		})
 	}
-	r.golden.scr.Put(r.sc)
-	r.sc = nil
 	return r.rep
 }
 
@@ -287,7 +286,29 @@ func (k *Kernel) RunInjectedOn(g kernels.GoldenState, inj arch.Injection, rng *x
 // delta buffers come from the handle's scratch pool, the report from the
 // session pool.
 func (k *Kernel) RunInjectedPooled(g kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
-	r := k.newRun(g.(*goldenProduct), reports)
+	gp := g.(*goldenProduct)
+	sc := gp.scr.Get()
+	rep := k.runInjectedWith(gp, sc, inj, rng, reports)
+	gp.scr.Put(sc)
+	return rep
+}
+
+// RunInjectedBatch implements kernels.BatchRunner: the whole batch shares
+// one borrowed scratch working set, keeping the corrupted-cell map and the
+// golden rows it touches cache-hot across strikes.
+func (k *Kernel) RunInjectedBatch(gs kernels.GoldenState, batch []kernels.BatchStrike, reports *metrics.ReportPool) {
+	gp := gs.(*goldenProduct)
+	sc := gp.scr.Get()
+	for i := range batch {
+		batch[i].Report = k.runInjectedWith(gp, sc, batch[i].Inj, batch[i].RNG, reports)
+	}
+	gp.scr.Put(sc)
+}
+
+// runInjectedWith executes one injection against externally owned scratch.
+func (k *Kernel) runInjectedWith(gp *goldenProduct, sc *runScratch, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
+	rv := k.newRun(gp, sc, reports)
+	r := &rv
 	n := k.n
 
 	switch inj.Scope {

@@ -72,7 +72,10 @@ func TestGoldenHandleMemoised(t *testing.T) {
 
 func TestGoldenRowColAgree(t *testing.T) {
 	k := New(64)
-	r := k.newRun(k.Golden(nil).(*goldenProduct), nil)
+	gp := k.Golden(nil).(*goldenProduct)
+	sc := gp.scr.Get()
+	defer gp.scr.Put(sc)
+	r := k.newRun(gp, sc, nil)
 	row := r.goldenRow(5)
 	col := r.goldenCol(9)
 	direct := k.GoldenElem(5, 9)
@@ -109,7 +112,10 @@ func TestDeltaPropagationMatchesBruteForce(t *testing.T) {
 	}
 
 	// Delta propagation.
-	r := k.newRun(k.Golden(nil).(*goldenProduct), nil)
+	gp := k.Golden(nil).(*goldenProduct)
+	sc := gp.scr.Get()
+	defer gp.scr.Put(sc)
+	r := k.newRun(gp, sc, nil)
 	row := r.goldenRow(i0)
 	d := corrupted - orig
 	for j := 0; j < n; j++ {

@@ -88,6 +88,51 @@ type Kernel interface {
 	RunInjectedPooled(g GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report
 }
 
+// BatchStrike is one strike of a RunInjectedBatch call: the resolved
+// injection, the strike's private RNG (already split per strike index, so
+// batch members are order-independent), and the output slot the kernel
+// fills with the mismatch report. Report ownership follows the
+// RunInjectedPooled contract: the caller owns every filled report and
+// releases it after consumption; the kernel must not retain references
+// past the batch call.
+type BatchStrike struct {
+	Inj arch.Injection
+	RNG *xrand.RNG
+	// Report is filled by the batch runner; an empty report means the
+	// corruption was logically masked.
+	Report *metrics.Report
+}
+
+// BatchRunner is the optional cross-strike batching seam (DESIGN.md §13):
+// kernels that implement it execute a whole slice of strikes against one
+// golden handle, keeping handle-local scratch, golden-sum tables, and
+// memoised timeline states cache-hot across the batch. Each strike must
+// produce a report bit-identical to a standalone RunInjectedPooled call
+// with the same (handle, injection, RNG state) — batching is a locality
+// optimisation, never a semantic one.
+type BatchRunner interface {
+	RunInjectedBatch(g GoldenState, batch []BatchStrike, reports *metrics.ReportPool)
+}
+
+// RunBatch executes a batch of strikes through k's BatchRunner seam when
+// it has one, and otherwise through RunBatchFallback.
+func RunBatch(k Kernel, g GoldenState, batch []BatchStrike, reports *metrics.ReportPool) {
+	if br, ok := k.(BatchRunner); ok {
+		br.RunInjectedBatch(g, batch, reports)
+		return
+	}
+	RunBatchFallback(k, g, batch, reports)
+}
+
+// RunBatchFallback is the default BatchRunner: a plain loop over
+// RunInjectedPooled. Kernel batch implementations are pinned bit-identical
+// to it by the campaign engine's pooled property suites.
+func RunBatchFallback(k Kernel, g GoldenState, batch []BatchStrike, reports *metrics.ReportPool) {
+	for i := range batch {
+		batch[i].Report = k.RunInjectedPooled(g, batch[i].Inj, batch[i].RNG, reports)
+	}
+}
+
 // DenseRunner is implemented by kernels that can materialise full golden
 // and faulty output grids (used by examples and the Fig. 9 locality map).
 type DenseRunner interface {

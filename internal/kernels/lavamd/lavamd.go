@@ -10,13 +10,18 @@
 // highlights: "exponentiation operations can turn small value variations
 // into large differences" (§V-E), which is why transcendental-unit strikes
 // on the K40 produce enormous relative errors. Faulty runs use exact delta
-// propagation over the affected neighbourhoods.
+// propagation over the affected neighbourhoods, reading particle state and
+// golden potentials from per-handle golden-sum tables (DESIGN.md §13): a
+// locality-friendly SoA layout with flattened neighbour lists, built
+// lazily per box in the exact naive summation order so every table value
+// is bit-identical to an on-demand recomputation.
 package lavamd
 
 import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"radcrit/internal/arch"
 	"radcrit/internal/grid"
@@ -37,31 +42,62 @@ const ParticleWords = 4
 type Kernel struct {
 	g    int
 	seed uint64
-	// goldenCache memoises GoldenPotential per (particles-per-box,
-	// flat particle id): potentials are pure functions of the kernel's
-	// deterministic particle state, and campaign runs query the same
-	// consumers thousands of times.
-	goldenCache sync.Map
 	// handles memoises golden-state handles per particles-per-box count
 	// (the only device-dependent parameter of LavaMD's golden state).
 	handles sync.Map // int -> *goldenHandle
 }
 
 // goldenHandle is LavaMD's golden-state handle: the device's particle
-// count per box, access to the kernel's shared potential cache, and the
+// count per box, the golden-sum tables shared by every strike, and the
 // pool of per-strike scratch shared by a campaign session's workers.
 type goldenHandle struct {
 	k   *Kernel
 	p   int
+	tab *goldenTab
 	scr *scratch.Pool[*runScratch]
+}
+
+// goldenTab holds the per-(kernel, particles-per-box) golden-sum tables:
+// flattened cut-off neighbour lists (CSR layout, replacing the neighbors()
+// callback walk) plus per-box particle state and golden potentials in SoA
+// layout. Neighbour lists are built eagerly (cheap); state and potential
+// arrays fill lazily per box, because a campaign's strikes touch a biased
+// subset of boxes and an eager build of a paper-scale grid would cost
+// seconds per handle.
+type goldenTab struct {
+	k     *Kernel
+	p     int
+	total int
+	// nbrOff/nbrBoxes are the CSR neighbour lists: box bi's cut-off
+	// neighbourhood (itself included) is nbrBoxes[nbrOff[bi]:nbrOff[bi+1]],
+	// in exactly appendNeighbors order.
+	nbrOff   []int32
+	nbrBoxes []int32
+	boxes    []boxTab
+}
+
+// boxTab is one box's lazily built table slots. Racing builders compute
+// bit-identical values (pure functions of the kernel), so publication is a
+// plain CompareAndSwap: either winner is correct, and readers never see a
+// partial build. Atomic pointers keep the hot-path read allocation-free
+// (a sync.Once closure would allocate per lookup).
+type boxTab struct {
+	st  atomic.Pointer[boxState]
+	pot atomic.Pointer[[]float64]
+}
+
+// boxState is one box's particle state in SoA layout: component arrays
+// indexed by particle, so consumer loops stream x/y/z/q sequentially
+// instead of re-deriving four hash values per particle.
+type boxState struct {
+	x, y, z, q []float64
 }
 
 // runScratch is one borrowable strike working set: the epoch-stamped
 // faulty-potential map (cleared in O(1) between strikes) plus the small
-// neighbour-enumeration buffers the injections used to allocate fresh.
+// corrupted-word buffer the cache-line path used to allocate fresh.
 type runScratch struct {
 	faulty scratch.IndexMap[float64]
-	nbs    []nb
 	cs     []corruptedParticle
 }
 
@@ -76,17 +112,23 @@ type corruptedParticle struct {
 
 // Golden implements kernels.Kernel.
 func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
-	p := k.ParticlesPerBox(dev)
+	return k.handleFor(k.ParticlesPerBox(dev))
+}
+
+// handleFor memoises the golden handle per particles-per-box count.
+// Racing creators build duplicate (empty) tables; LoadOrStore keeps one.
+func (k *Kernel) handleFor(p int) *goldenHandle {
 	if v, ok := k.handles.Load(p); ok {
 		return v.(*goldenHandle)
 	}
-	h := &goldenHandle{k: k, p: p,
+	h := &goldenHandle{k: k, p: p, tab: k.newGoldenTab(p),
 		scr: scratch.NewPool(func() *runScratch { return &runScratch{} })}
 	v, _ := k.handles.LoadOrStore(p, h)
 	return v.(*goldenHandle)
 }
 
 var _ kernels.Kernel = (*Kernel)(nil)
+var _ kernels.BatchRunner = (*Kernel)(nil)
 
 // Check reports whether g is a valid box-grid size without building
 // anything: the non-panicking face of New's precondition, used by plan
@@ -166,31 +208,125 @@ func (k *Kernel) neighbors(bx, by, bz int, fn func(nx, ny, nz int)) {
 	}
 }
 
-// GoldenPotential computes the fault-free potential of particle idx of box
-// (bx,by,bz) on demand, memoised per particle.
-func (k *Kernel) GoldenPotential(dev arch.Device, bx, by, bz, idx int) float64 {
-	return k.goldenPotential(k.ParticlesPerBox(dev), bx, by, bz, idx)
+// appendNeighbors collects the cut-off neighbourhood of (bx,by,bz) into
+// buf[:0] — the enumeration order every neighbour consumer (including the
+// flattened nbrBoxes lists) derives from.
+func (k *Kernel) appendNeighbors(buf []nb, bx, by, bz int) []nb {
+	buf = buf[:0]
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny, nz := bx+dx, by+dy, bz+dz
+				if nx < 0 || nx >= k.g || ny < 0 || ny >= k.g || nz < 0 || nz >= k.g {
+					continue
+				}
+				buf = append(buf, nb{nx, ny, nz})
+			}
+		}
+	}
+	return buf
 }
 
-// goldenPotential is GoldenPotential keyed directly by particles-per-box.
-func (k *Kernel) goldenPotential(p, bx, by, bz, idx int) float64 {
-	key := (int64(p)<<40 | int64(k.boxIndex(bx, by, bz))<<12 | int64(idx))
-	if v, ok := k.goldenCache.Load(key); ok {
-		return v.(float64)
+// newGoldenTab builds the CSR neighbour lists and empty per-box slots.
+func (k *Kernel) newGoldenTab(p int) *goldenTab {
+	total := k.g * k.g * k.g
+	t := &goldenTab{
+		k:      k,
+		p:      p,
+		total:  total,
+		nbrOff: make([]int32, total+1),
+		boxes:  make([]boxTab, total),
 	}
-	xi, yi, zi, _ := k.particle(bx, by, bz, idx)
-	var v float64
-	k.neighbors(bx, by, bz, func(nx, ny, nz int) {
-		for j := 0; j < p; j++ {
-			if nx == bx && ny == by && nz == bz && j == idx {
-				continue // no self-interaction
-			}
-			xj, yj, zj, qj := k.particle(nx, ny, nz, j)
-			v += interaction(xi, yi, zi, xj, yj, zj, qj)
+	t.nbrBoxes = make([]int32, 0, total*27)
+	var buf [27]nb
+	for bi := 0; bi < total; bi++ {
+		bx, by, bz := k.boxCoords(bi)
+		for _, b := range k.appendNeighbors(buf[:0], bx, by, bz) {
+			t.nbrBoxes = append(t.nbrBoxes, int32(k.boxIndex(b.x, b.y, b.z)))
 		}
-	})
-	k.goldenCache.Store(key, v)
-	return v
+		t.nbrOff[bi+1] = int32(len(t.nbrBoxes))
+	}
+	return t
+}
+
+// boxCoords inverts boxIndex.
+func (k *Kernel) boxCoords(bi int) (bx, by, bz int) {
+	return bi % k.g, (bi / k.g) % k.g, bi / (k.g * k.g)
+}
+
+// nbrsOf returns box bi's flattened cut-off neighbourhood (itself
+// included), in appendNeighbors order.
+func (t *goldenTab) nbrsOf(bi int) []int32 {
+	return t.nbrBoxes[t.nbrOff[bi]:t.nbrOff[bi+1]]
+}
+
+// state returns box bi's particle-state SoA, building it on first use.
+func (t *goldenTab) state(bi int) *boxState {
+	if s := t.boxes[bi].st.Load(); s != nil {
+		return s
+	}
+	return t.buildState(bi)
+}
+
+func (t *goldenTab) buildState(bi int) *boxState {
+	bx, by, bz := t.k.boxCoords(bi)
+	s := &boxState{
+		x: make([]float64, t.p), y: make([]float64, t.p),
+		z: make([]float64, t.p), q: make([]float64, t.p),
+	}
+	for idx := 0; idx < t.p; idx++ {
+		s.x[idx], s.y[idx], s.z[idx], s.q[idx] = t.k.particle(bx, by, bz, idx)
+	}
+	if !t.boxes[bi].st.CompareAndSwap(nil, s) {
+		return t.boxes[bi].st.Load()
+	}
+	return s
+}
+
+// potential returns the golden potential of particle idx of box bi from
+// the golden-sum table, building the box's column on first use.
+func (t *goldenTab) potential(bi, idx int) float64 {
+	if p := t.boxes[bi].pot.Load(); p != nil {
+		return (*p)[idx]
+	}
+	return (*t.buildPot(bi))[idx]
+}
+
+// buildPot fills box bi's golden-potential column in the exact naive
+// summation order — a flat left-fold over the neighbourhood in
+// appendNeighbors order, self-interaction skipped — so table values are
+// bit-identical to an on-demand recomputation (the float accumulation
+// tree is the bit-identity contract, DESIGN.md §13).
+func (t *goldenTab) buildPot(bi int) *[]float64 {
+	own := t.state(bi)
+	nbrs := t.nbrsOf(bi)
+	pot := make([]float64, t.p)
+	for idx := 0; idx < t.p; idx++ {
+		xi, yi, zi := own.x[idx], own.y[idx], own.z[idx]
+		var v float64
+		for _, nbi := range nbrs {
+			ns := t.state(int(nbi))
+			same := int(nbi) == bi
+			for j := 0; j < t.p; j++ {
+				if same && j == idx {
+					continue
+				}
+				v += interaction(xi, yi, zi, ns.x[j], ns.y[j], ns.z[j], ns.q[j])
+			}
+		}
+		pot[idx] = v
+	}
+	if !t.boxes[bi].pot.CompareAndSwap(nil, &pot) {
+		return t.boxes[bi].pot.Load()
+	}
+	return &pot
+}
+
+// GoldenPotential computes the fault-free potential of particle idx of box
+// (bx,by,bz) from the golden-sum table.
+func (k *Kernel) GoldenPotential(dev arch.Device, bx, by, bz, idx int) float64 {
+	h := k.handleFor(k.ParticlesPerBox(dev))
+	return h.tab.potential(k.boxIndex(bx, by, bz), idx)
 }
 
 // Profile implements kernels.Kernel. LavaMD keeps the home box and one
@@ -252,70 +388,55 @@ func (k *Kernel) outputDimsP(p int) grid.Dims {
 }
 
 // run carries per-execution corrupted state on top of the shared golden
-// handle. The faulty-potential map (flat particle id -> potential) and
-// neighbour buffers live in scratch borrowed from the handle's pool.
+// tables. The faulty-potential map (flat particle id -> potential) lives
+// in scratch borrowed from the handle's pool; runs are stack values so a
+// strike allocates nothing of its own.
 type run struct {
 	k   *Kernel
-	g   *goldenHandle
+	tab *goldenTab
 	p   int
 	sc  *runScratch
 	rep *metrics.Report
-}
-
-func (k *Kernel) newRun(g *goldenHandle, reports *metrics.ReportPool) *run {
-	dims := k.outputDimsP(g.p)
-	sc := g.scr.Get()
-	sc.faulty.Clear()
-	return &run{
-		k:   k,
-		g:   g,
-		p:   g.p,
-		sc:  sc,
-		rep: reports.Get(dims, dims.Len()),
-	}
 }
 
 func (r *run) coordOf(bx, by, bz, idx int) grid.Coord {
 	return grid.Coord{X: bx*r.p + idx, Y: by, Z: bz}
 }
 
-// adjust accumulates a potential delta for one particle.
-func (r *run) adjust(bx, by, bz, idx int, delta float64) {
+// adjust accumulates a potential delta for one particle of box bi.
+func (r *run) adjust(bi, idx int, delta float64) {
 	if delta == 0 {
 		return
 	}
-	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
-	// goldenPotential never touches the faulty map, so the slot pointer
-	// stays valid across the initialisation.
+	key := (bi << 12) | idx
+	// potential never touches the faulty map, so the slot pointer stays
+	// valid across the initialisation.
 	slot, fresh := r.sc.faulty.Ref(key)
 	if fresh {
-		*slot = r.k.goldenPotential(r.p, bx, by, bz, idx)
+		*slot = r.tab.potential(bi, idx)
 	}
 	*slot += delta
 }
 
 // set overrides a particle's faulty potential outright.
-func (r *run) set(bx, by, bz, idx int, v float64) {
-	key := (r.k.boxIndex(bx, by, bz) << 12) | idx
-	r.sc.faulty.Set(key, v)
+func (r *run) set(bi, idx int, v float64) {
+	r.sc.faulty.Set((bi<<12)|idx, v)
 }
 
-// finish converts accumulated faulty values into the mismatch report and
-// releases the scratch. Mismatches are emitted in ascending particle-id
-// order so the report is a deterministic function of the corrupted set,
-// exactly as the pre-pooling sort emitted them.
+// finish converts accumulated faulty values into the mismatch report.
+// Mismatches are emitted in ascending particle-id order so the report is
+// a deterministic function of the corrupted set, exactly as the
+// pre-pooling sort emitted them.
 func (r *run) finish() *metrics.Report {
 	for _, key := range r.sc.faulty.SortedKeys() {
 		v, _ := r.sc.faulty.Get(key)
 		idx := key & 0xFFF
 		box := key >> 12
-		bx := box % r.k.g
-		by := (box / r.k.g) % r.k.g
-		bz := box / (r.k.g * r.k.g)
-		g := r.k.goldenPotential(r.p, bx, by, bz, idx)
+		g := r.tab.potential(box, idx)
 		if v == g {
 			continue
 		}
+		bx, by, bz := r.k.boxCoords(box)
 		r.rep.Mismatches = append(r.rep.Mismatches, metrics.Mismatch{
 			Coord:     r.coordOf(bx, by, bz, idx),
 			Read:      v,
@@ -323,8 +444,6 @@ func (r *run) finish() *metrics.Report {
 			RelErrPct: metrics.RelativeErrorPct(v, g),
 		})
 	}
-	r.g.scr.Put(r.sc)
-	r.sc = nil
 	return r.rep
 }
 
@@ -339,13 +458,35 @@ func (k *Kernel) RunInjectedOn(gs kernels.GoldenState, inj arch.Injection, rng *
 }
 
 // RunInjectedPooled implements kernels.Kernel: the faulty-potential map
-// and neighbour buffers come from the handle's scratch pool, the report
-// from the session pool.
+// comes from the handle's scratch pool, the report from the session pool.
 func (k *Kernel) RunInjectedPooled(gs kernels.GoldenState, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
-	r := k.newRun(gs.(*goldenHandle), reports)
-	p := r.p
+	h := gs.(*goldenHandle)
+	sc := h.scr.Get()
+	rep := k.runInjectedWith(h, sc, inj, rng, reports)
+	h.scr.Put(sc)
+	return rep
+}
+
+// RunInjectedBatch implements kernels.BatchRunner: the whole batch shares
+// one borrowed scratch working set, so the faulty map's backing array and
+// the golden-sum tables it touches stay cache-hot across strikes.
+func (k *Kernel) RunInjectedBatch(gs kernels.GoldenState, batch []kernels.BatchStrike, reports *metrics.ReportPool) {
+	h := gs.(*goldenHandle)
+	sc := h.scr.Get()
+	for i := range batch {
+		batch[i].Report = k.runInjectedWith(h, sc, batch[i].Inj, batch[i].RNG, reports)
+	}
+	h.scr.Put(sc)
+}
+
+// runInjectedWith executes one injection against externally owned scratch.
+func (k *Kernel) runInjectedWith(h *goldenHandle, sc *runScratch, inj arch.Injection, rng *xrand.RNG, reports *metrics.ReportPool) *metrics.Report {
+	sc.faulty.Clear()
+	dims := k.outputDimsP(h.p)
+	r := run{k: k, tab: h.tab, p: h.p, sc: sc, rep: reports.Get(dims, dims.Len())}
+	p := h.p
 	g := k.g
-	randBox := func() (int, int, int) { return rng.Intn(g), rng.Intn(g), rng.Intn(g) }
+	tab := h.tab
 
 	switch inj.Scope {
 	case arch.ScopeAccumTerm, arch.ScopeInputWord:
@@ -358,82 +499,64 @@ func (k *Kernel) RunInjectedPooled(gs kernels.GoldenState, inj arch.Injection, r
 		// that "exponentiation operations can turn small value
 		// variations into large differences" and that the K40's LavaMD
 		// SDCs are uniformly enormous (§V-E).
-		bx, by, bz := randBox()
+		bx, by, bz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
 		idx := rng.Intn(p)
-		t := k.randomTerm(r.sc, p, bx, by, bz, idx, rng)
+		bi := k.boxIndex(bx, by, bz)
+		t := k.randomTerm(tab, bi, idx, rng)
 		shift := 4 + rng.Intn(28)
 		scale := math.Ldexp(1, shift)
 		if rng.Bool(0.3) {
 			scale = 1 / scale // result collapses instead of exploding
 		}
-		r.adjust(bx, by, bz, idx, t*scale-t)
+		r.adjust(bi, idx, t*scale-t)
 
 	case arch.ScopeOutputWord:
-		bx, by, bz := randBox()
+		bx, by, bz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
 		idx := rng.Intn(p)
-		gv := k.goldenPotential(p, bx, by, bz, idx)
-		r.set(bx, by, bz, idx, inj.Flip.Apply(gv, rng))
+		bi := k.boxIndex(bx, by, bz)
+		gv := tab.potential(bi, idx)
+		r.set(bi, idx, inj.Flip.Apply(gv, rng))
 
 	case arch.ScopeVectorLanes:
 		// Adjacent potentials written back from one SIMD register.
-		bx, by, bz := randBox()
+		bx, by, bz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
 		idx0 := rng.Intn(p)
+		bi := k.boxIndex(bx, by, bz)
 		for w := 0; w < inj.Words && idx0+w < p; w++ {
-			gv := k.goldenPotential(p, bx, by, bz, idx0+w)
-			r.set(bx, by, bz, idx0+w, inj.Flip.Apply(gv, rng))
+			gv := tab.potential(bi, idx0+w)
+			r.set(bi, idx0+w, inj.Flip.Apply(gv, rng))
 		}
 
 	case arch.ScopeCacheLine:
-		k.injectCacheLines(r, inj, rng)
+		k.injectCacheLines(&r, inj, rng)
 
 	case arch.ScopeSharedTile:
-		k.injectSharedTile(r, inj, rng)
+		k.injectSharedTile(&r, inj, rng)
 
 	case arch.ScopeTaskSet:
-		k.injectTaskSet(r, inj, rng)
+		k.injectTaskSet(&r, inj, rng)
 	}
 
 	return r.finish()
 }
 
-// appendNeighbors collects the cut-off neighbourhood of (bx,by,bz) into
-// buf[:0] — the same enumeration order as neighbors, without the
-// callback's per-call closure allocation.
-func (k *Kernel) appendNeighbors(buf []nb, bx, by, bz int) []nb {
-	buf = buf[:0]
-	for dz := -1; dz <= 1; dz++ {
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny, nz := bx+dx, by+dy, bz+dz
-				if nx < 0 || nx >= k.g || ny < 0 || ny >= k.g || nz < 0 || nz >= k.g {
-					continue
-				}
-				buf = append(buf, nb{nx, ny, nz})
-			}
-		}
-	}
-	return buf
-}
-
-// randomTerm returns one golden pairwise term of particle idx.
-func (k *Kernel) randomTerm(sc *runScratch, p, bx, by, bz, idx int, rng *xrand.RNG) float64 {
-	xi, yi, zi, _ := k.particle(bx, by, bz, idx)
-	nx, ny, nz, j := k.randomNeighborParticle(sc, p, bx, by, bz, idx, rng)
-	xj, yj, zj, qj := k.particle(nx, ny, nz, j)
-	return interaction(xi, yi, zi, xj, yj, zj, qj)
-}
-
-// randomNeighborParticle picks a random interaction partner of (box, idx)
-// among the p particles of each neighbouring box, excluding idx itself.
-func (k *Kernel) randomNeighborParticle(sc *runScratch, p, bx, by, bz, idx int, rng *xrand.RNG) (nx, ny, nz, j int) {
-	sc.nbs = k.appendNeighbors(sc.nbs, bx, by, bz)
+// randomTerm returns one golden pairwise term of particle idx of box bi:
+// a random interaction partner among the p particles of each neighbouring
+// box, excluding idx itself. The neighbour pick draws from the flattened
+// list, which has the same length and order as the appendNeighbors walk,
+// so RNG consumption is unchanged.
+func (k *Kernel) randomTerm(tab *goldenTab, bi, idx int, rng *xrand.RNG) float64 {
+	own := tab.state(bi)
+	xi, yi, zi := own.x[idx], own.y[idx], own.z[idx]
+	nbrs := tab.nbrsOf(bi)
 	for {
-		b := sc.nbs[rng.Intn(len(sc.nbs))]
-		j = rng.Intn(p)
-		if b.x == bx && b.y == by && b.z == bz && j == idx {
+		nbi := int(nbrs[rng.Intn(len(nbrs))])
+		j := rng.Intn(tab.p)
+		if nbi == bi && j == idx {
 			continue // no self-interaction; p > 1 guarantees progress
 		}
-		return b.x, b.y, b.z, j
+		ns := tab.state(nbi)
+		return interaction(xi, yi, zi, ns.x[j], ns.y[j], ns.z[j], ns.q[j])
 	}
 }
 
@@ -455,23 +578,25 @@ func (k *Kernel) injectCacheLines(r *run, inj arch.Injection, rng *xrand.RNG) {
 			comp := word % ParticleWords
 			idx := gidx % p
 			box := gidx / p
-			bx := box % g
-			by := (box / g) % g
-			bz := box / (g * g)
+			bx, by, bz := k.boxCoords(box)
 			cs = append(cs, corruptedParticle{bx, by, bz, idx, comp})
 		}
 		r.sc.cs = cs // keep grown capacity pooled
 		for _, c := range cs {
-			k.propagateParticleCorruption(r, inj, rng, c.bx, c.by, c.bz, c.idx, c.comp)
+			k.propagateParticleCorruption(r, inj, rng, k.boxIndex(c.bx, c.by, c.bz), c.idx, c.comp)
 		}
 	}
 }
 
 // propagateParticleCorruption recomputes, by exact delta, every potential
-// that consumed the corrupted component of particle (box, idx).
-func (k *Kernel) propagateParticleCorruption(r *run, inj arch.Injection, rng *xrand.RNG, bx, by, bz, idx, comp int) {
+// that consumed the corrupted component of particle (sb, idx). The
+// corrupted-minus-golden term pairs stream the consumer boxes' SoA state,
+// which is the whole-path arithmetic hot loop.
+func (k *Kernel) propagateParticleCorruption(r *run, inj arch.Injection, rng *xrand.RNG, sb, idx, comp int) {
 	p := r.p
-	xj, yj, zj, qj := k.particle(bx, by, bz, idx)
+	tab := r.tab
+	ss := tab.state(sb)
+	xj, yj, zj, qj := ss.x[idx], ss.y[idx], ss.z[idx], ss.q[idx]
 	vals := [ParticleWords]float64{xj, yj, zj, qj}
 	orig := vals[comp]
 	vals[comp] = inj.Flip.Apply(orig, rng)
@@ -480,36 +605,40 @@ func (k *Kernel) propagateParticleCorruption(r *run, inj arch.Injection, rng *xr
 	}
 	xn, yn, zn, qn := vals[0], vals[1], vals[2], vals[3]
 
-	k.neighbors(bx, by, bz, func(cx, cy, cz int) {
+	for _, nbi := range tab.nbrsOf(sb) {
+		cb := int(nbi)
 		// Consumer boxes processed before the strike read clean data.
-		if !kernels.ProgressConsumed(k.boxIndex(cx, cy, cz), k.g*k.g*k.g, inj.When) {
-			return
+		if !kernels.ProgressConsumed(cb, tab.total, inj.When) {
+			continue
 		}
+		cs := tab.state(cb)
+		same := cb == sb
 		for i := 0; i < p; i++ {
-			if cx == bx && cy == by && cz == bz && i == idx {
+			if same && i == idx {
 				continue
 			}
-			xi, yi, zi, _ := k.particle(cx, cy, cz, i)
+			xi, yi, zi := cs.x[i], cs.y[i], cs.z[i]
 			old := interaction(xi, yi, zi, xj, yj, zj, qj)
 			new_ := interaction(xi, yi, zi, xn, yn, zn, qn)
-			r.adjust(cx, cy, cz, i, new_-old)
+			r.adjust(cb, i, new_-old)
 		}
-	})
+	}
 
 	// The corrupted particle's own potential is also recomputed from its
 	// corrupted position if its box runs after the strike.
-	if kernels.ProgressConsumed(k.boxIndex(bx, by, bz), k.g*k.g*k.g, inj.When) && comp < 3 {
+	if kernels.ProgressConsumed(sb, tab.total, inj.When) && comp < 3 {
 		var v float64
-		k.neighbors(bx, by, bz, func(nx2, ny2, nz2 int) {
+		for _, nbi := range tab.nbrsOf(sb) {
+			ns := tab.state(int(nbi))
+			same := int(nbi) == sb
 			for j := 0; j < p; j++ {
-				if nx2 == bx && ny2 == by && nz2 == bz && j == idx {
+				if same && j == idx {
 					continue
 				}
-				x2, y2, z2, q2 := k.particle(nx2, ny2, nz2, j)
-				v += interaction(xn, yn, zn, x2, y2, z2, q2)
+				v += interaction(xn, yn, zn, ns.x[j], ns.y[j], ns.z[j], ns.q[j])
 			}
-		})
-		r.set(bx, by, bz, idx, v)
+		}
+		r.set(sb, idx, v)
 	}
 }
 
@@ -518,19 +647,21 @@ func (k *Kernel) propagateParticleCorruption(r *run, inj arch.Injection, rng *xr
 func (k *Kernel) injectSharedTile(r *run, inj arch.Injection, rng *xrand.RNG) {
 	p := r.p
 	g := k.g
+	tab := r.tab
 	cx, cy, cz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
-	r.sc.nbs = k.appendNeighbors(r.sc.nbs, cx, cy, cz)
-	nb := r.sc.nbs[rng.Intn(len(r.sc.nbs))]
+	cb := k.boxIndex(cx, cy, cz)
+	nbrs := tab.nbrsOf(cb)
+	nbi := int(nbrs[rng.Intn(len(nbrs))])
+	same := nbi == cb
+	cs := tab.state(cb)
+	ns := tab.state(nbi)
 
 	w0 := alignedStart(rng, p*ParticleWords, inj.Words)
 	for w := 0; w < inj.Words && w0+w < p*ParticleWords; w++ {
 		word := w0 + w
 		j := word / ParticleWords
 		comp := word % ParticleWords
-		if nb.x == cx && nb.y == cy && nb.z == cz {
-			// Home-box copy corrupted; fall through to same math.
-		}
-		xj, yj, zj, qj := k.particle(nb.x, nb.y, nb.z, j)
+		xj, yj, zj, qj := ns.x[j], ns.y[j], ns.z[j], ns.q[j]
 		vals := [ParticleWords]float64{xj, yj, zj, qj}
 		orig := vals[comp]
 		vals[comp] = inj.Flip.Apply(orig, rng)
@@ -538,13 +669,13 @@ func (k *Kernel) injectSharedTile(r *run, inj arch.Injection, rng *xrand.RNG) {
 			continue
 		}
 		for i := 0; i < p; i++ {
-			if nb.x == cx && nb.y == cy && nb.z == cz && i == j {
+			if same && i == j {
 				continue
 			}
-			xi, yi, zi, _ := k.particle(cx, cy, cz, i)
+			xi, yi, zi := cs.x[i], cs.y[i], cs.z[i]
 			old := interaction(xi, yi, zi, xj, yj, zj, qj)
 			new_ := interaction(xi, yi, zi, vals[0], vals[1], vals[2], vals[3])
-			r.adjust(cx, cy, cz, i, new_-old)
+			r.adjust(cb, i, new_-old)
 		}
 	}
 }
@@ -555,30 +686,36 @@ func (k *Kernel) injectSharedTile(r *run, inj arch.Injection, rng *xrand.RNG) {
 func (k *Kernel) injectTaskSet(r *run, inj arch.Injection, rng *xrand.RNG) {
 	p := r.p
 	g := k.g
+	tab := r.tab
 	for t := 0; t < inj.Tasks; t++ {
 		bx, by, bz := rng.Intn(g), rng.Intn(g), rng.Intn(g)
+		bi := k.boxIndex(bx, by, bz)
 		if rng.Bool(0.5) {
 			for i := 0; i < p; i++ {
-				r.set(bx, by, bz, i, 0)
+				r.set(bi, i, 0)
 			}
 			continue
 		}
 		// Displaced neighbourhood: the box computes as if it sat one box
 		// over in x, so every particle sees a shifted particle set.
 		sx := (bx + 1) % g
+		sbi := k.boxIndex(sx, by, bz)
+		own := tab.state(bi)
+		nbrs := tab.nbrsOf(sbi)
 		for i := 0; i < p; i++ {
-			xi, yi, zi, _ := k.particle(bx, by, bz, i)
+			xi, yi, zi := own.x[i], own.y[i], own.z[i]
 			var v float64
-			k.neighbors(sx, by, bz, func(nx, ny, nz int) {
+			for _, nbix := range nbrs {
+				ns := tab.state(int(nbix))
+				same := int(nbix) == bi
 				for j := 0; j < p; j++ {
-					if nx == bx && ny == by && nz == bz && j == i {
+					if same && j == i {
 						continue
 					}
-					xj, yj, zj, qj := k.particle(nx, ny, nz, j)
-					v += interaction(xi, yi, zi, xj, yj, zj, qj)
+					v += interaction(xi, yi, zi, ns.x[j], ns.y[j], ns.z[j], ns.q[j])
 				}
-			})
-			r.set(bx, by, bz, i, v)
+			}
+			r.set(bi, i, v)
 		}
 	}
 }

@@ -44,6 +44,22 @@ func For(n, workers int, fn func(i int)) {
 // treat a non-nil return as "an unspecified subset of indices ran" — the
 // campaign engines discard the whole chunk.
 func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForSpansCtx(ctx, n, workers, func(start, end int) {
+		for i := start; i < end; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForSpansCtx is ForCtx at span granularity: fn receives each claimed
+// chunk as a contiguous [start, end) index range instead of one index at
+// a time. Callers that amortise per-call overhead across a run of items —
+// the campaign engine hands each span to the kernels' batch seam so
+// scratch and golden tables stay cache-hot — use this directly; ForCtx is
+// a per-index wrapper over it. The determinism contract is unchanged:
+// spans partition [0, n), every index is visited exactly once, and fn
+// must write only to the slots of its own span.
+func ForSpansCtx(ctx context.Context, n, workers int, fn func(start, end int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -53,17 +69,20 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	chunk := chunkSize(n, workers)
 	if workers == 1 {
-		chunk := chunkSize(n, 1)
-		for i := 0; i < n; i++ {
-			if i%chunk == 0 && ctx.Err() != nil {
+		for start := 0; start < n; start += chunk {
+			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			fn(i)
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			fn(start, end)
 		}
 		return nil
 	}
-	chunk := chunkSize(n, workers)
 	var cursor atomic.Int64
 	var stopped atomic.Bool
 	var wg sync.WaitGroup
@@ -84,9 +103,7 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 				if end > n {
 					end = n
 				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
+				fn(start, end)
 			}
 		}()
 	}

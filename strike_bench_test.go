@@ -96,6 +96,50 @@ func benchInjected(b *testing.B, dev arch.Device, kern kernels.Kernel) {
 	}
 }
 
+// benchInjectedBatch measures the same SDC corpus through the session's
+// cross-strike batch path (Session.RunBatch -> kernels.BatchRunner) in
+// spans of batchSpan strikes, the shape the streaming engine's chunk
+// loop produces. ns/op stays per strike, directly comparable with
+// BenchmarkInjected<Kernel>.
+func benchInjectedBatch(b *testing.B, dev arch.Device, kern kernels.Kernel) {
+	const batchSpan = 64
+	ses, err := injector.NewSession(dev, kern)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(42)
+	prof := ses.Profile()
+	var idxs []uint64
+	for i := uint64(0); i < 65536 && len(idxs) < 256; i++ {
+		strike, sub := strikeAt(rng, i)
+		if syn := dev.ResolveStrike(prof, strike, sub); syn.Outcome == fault.SDC {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		b.Fatal("no SDC syndromes in probe window")
+	}
+	strikes := make([]fault.Strike, batchSpan)
+	rngs := make([]*xrand.RNG, batchSpan)
+	outs := make([]injector.Outcome, batchSpan)
+	runSpan := func(base, n int) {
+		for j := 0; j < n; j++ {
+			strikes[j], rngs[j] = strikeAt(rng, idxs[(base+j)%len(idxs)])
+		}
+		ses.RunBatch(strikes[:n], rngs[:n], outs[:n])
+		for j := 0; j < n; j++ {
+			releaseOutcome(ses, outs[j])
+			outs[j] = injector.Outcome{}
+		}
+	}
+	runSpan(0, batchSpan) // warm pools and golden tables
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSpan {
+		runSpan(i, min(batchSpan, b.N-i))
+	}
+}
+
 func BenchmarkStrikeDGEMM(b *testing.B)   { benchStrikeMix(b, k40.New(), dgemm.New(256)) }
 func BenchmarkStrikeLavaMD(b *testing.B)  { benchStrikeMix(b, k40.New(), lavamd.New(5)) }
 func BenchmarkStrikeHotSpot(b *testing.B) { benchStrikeMix(b, k40.New(), hotspot.New(64, 80)) }
@@ -105,6 +149,13 @@ func BenchmarkInjectedDGEMM(b *testing.B)   { benchInjected(b, k40.New(), dgemm.
 func BenchmarkInjectedLavaMD(b *testing.B)  { benchInjected(b, k40.New(), lavamd.New(5)) }
 func BenchmarkInjectedHotSpot(b *testing.B) { benchInjected(b, k40.New(), hotspot.New(64, 80)) }
 func BenchmarkInjectedCLAMR(b *testing.B)   { benchInjected(b, phi.New(), clamr.New(48, 60)) }
+
+func BenchmarkInjectedBatchDGEMM(b *testing.B)  { benchInjectedBatch(b, k40.New(), dgemm.New(256)) }
+func BenchmarkInjectedBatchLavaMD(b *testing.B) { benchInjectedBatch(b, k40.New(), lavamd.New(5)) }
+func BenchmarkInjectedBatchHotSpot(b *testing.B) {
+	benchInjectedBatch(b, k40.New(), hotspot.New(64, 80))
+}
+func BenchmarkInjectedBatchCLAMR(b *testing.B) { benchInjectedBatch(b, phi.New(), clamr.New(48, 60)) }
 
 // releaseOutcome returns an outcome's report to the session pool, modeling
 // the streaming engine's per-strike release.
