@@ -54,8 +54,10 @@ import (
 	"radcrit/internal/cli"
 	"radcrit/internal/fleet"
 	"radcrit/internal/remotestore"
+	"radcrit/internal/scratch"
 	"radcrit/internal/service"
 	"radcrit/internal/store"
+	"radcrit/internal/telemetry"
 	"radcrit/internal/tenant"
 )
 
@@ -77,6 +79,7 @@ func main() {
 	coordinator := flag.String("coordinator", "http://127.0.0.1:8447", "worker: coordinator base URL")
 	name := flag.String("name", "", "worker: label shown in fleet health (default: hostname)")
 	throttle := flag.Duration("throttle-chunk", 0, "worker: pause after each checkpoint chunk (pacing for chaos/failure drills)")
+	metricsAddr := flag.String("metrics-addr", "", "worker: serve GET /metrics on this address (serve mode exposes /metrics on -addr)")
 	var prof cli.ProfileFlags
 	prof.Bind(flag.CommandLine)
 	showVersion := cli.VersionFlag(flag.CommandLine)
@@ -93,17 +96,21 @@ func main() {
 		return
 	}
 	if *worker {
-		runWorker(*coordinator, *name, *throttle)
+		runWorker(*coordinator, *name, *throttle, *metricsAddr)
 		stopProfiles(&prof)
 		return
 	}
 
 	logger := log.New(os.Stderr, "radcritd: ", log.LstdFlags)
+	metrics := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(metrics, "radcrit_build_info", cli.Version())
+	scratch.RegisterMetrics(metrics)
 	opts := service.Options{
 		StateDir:  *state,
 		Executors: *executors,
 		StoreCap:  *storeCapMB << 20,
 		MaxJobs:   *maxJobs,
+		Metrics:   metrics,
 	}
 	tpath := *tenantsPath
 	if tpath == "" {
@@ -131,6 +138,7 @@ func main() {
 			SpeculateAfter: *speculate,
 			Logf:           logger.Printf,
 		})
+		coord.RegisterMetrics(metrics)
 		opts.Remote = coord
 	}
 	m, err := service.New(opts)
@@ -140,7 +148,9 @@ func main() {
 	m.Start()
 
 	root := http.NewServeMux()
-	root.Handle("/", api.New(m, cli.Version(), api.WithRequestTimeout(*requestTimeout)))
+	root.Handle("/", api.New(m, cli.Version(),
+		api.WithRequestTimeout(*requestTimeout),
+		api.WithMetrics(metrics)))
 	if coord != nil {
 		coord.Routes(root)
 	}
@@ -162,13 +172,29 @@ func main() {
 	logger.Printf("serving on http://%s (state: %s, executors: %d, fleet: %v)", *addr, *state, *executors, *fleetMode)
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	select {
-	case sig := <-sigc:
-		logger.Printf("%v: draining (in-flight jobs checkpoint and re-queue; "+
-			"restart on the same -state to resume)", sig)
-	case err := <-errc:
-		logger.Printf("server: %v", err)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				// Hot-reload tenants.json: weights re-shape the live queue
+				// (effective on the next pop), rate limits and quotas apply
+				// to the next request. A bad file keeps the old table.
+				if err := m.ReloadTenants(); err != nil {
+					logger.Printf("SIGHUP: tenants reload failed, old table kept: %v", err)
+				} else {
+					logger.Printf("SIGHUP: tenants reloaded from %s", tpath)
+				}
+				continue
+			}
+			logger.Printf("%v: draining (in-flight jobs checkpoint and re-queue; "+
+				"restart on the same -state to resume)", sig)
+			break loop
+		case err := <-errc:
+			logger.Printf("server: %v", err)
+			break loop
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -195,14 +221,31 @@ func stopProfiles(prof *cli.ProfileFlags) {
 // runWorker joins a coordinator's fleet and processes leases until
 // SIGINT/SIGTERM, abandoning any in-flight lease so its cell requeues
 // immediately.
-func runWorker(base, name string, throttle time.Duration) {
+func runWorker(base, name string, throttle time.Duration, metricsAddr string) {
 	logger := log.New(os.Stderr, "radcritd-worker: ", log.LstdFlags)
 	if name == "" {
 		name, _ = os.Hostname()
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	w := fleet.NewWorker(fleet.WorkerOptions{Base: base, Name: name, Logf: logger.Printf, ThrottleChunk: throttle})
+	var em *service.EngineMetrics
+	if metricsAddr != "" {
+		metrics := telemetry.NewRegistry()
+		telemetry.RegisterBuildInfo(metrics, "radcrit_build_info", cli.Version())
+		scratch.RegisterMetrics(metrics)
+		em = service.NewEngineMetrics(metrics)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler())
+		msrv := &http.Server{Addr: metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Printf("metrics on http://%s/metrics", metricsAddr)
+	}
+	w := fleet.NewWorker(fleet.WorkerOptions{Base: base, Name: name, Logf: logger.Printf, ThrottleChunk: throttle, Metrics: em})
 	logger.Printf("%s", cli.Version())
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		logger.Fatal(err)

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -125,6 +126,18 @@ type report struct {
 	MidDrainSample  *fairnessSample  `json:"mid_drain_sample,omitempty"`
 	DrainSeconds    float64          `json:"drain_seconds"`
 	StrikesExecuted int              `json:"strikes_executed_total"`
+	// Metrics is the daemon's own /metrics view of the same run, scraped
+	// at the mid-drain moment and again after the drain. CI cross-asserts
+	// it against the client-side numbers above: the strike-share gauge
+	// must tell the same fairness story as the sampled /v1/tenants ratio,
+	// and the server's 429 count must equal the rejections radload saw.
+	Metrics struct {
+		ScrapeOK        bool               `json:"scrape_ok"`
+		MidDrainStrikes map[string]float64 `json:"mid_drain_strikes_done,omitempty"`
+		MidDrainRatio   float64            `json:"mid_drain_strike_ratio"`
+		Responses429    float64            `json:"responses_429_total"`
+		RateLimited429  float64            `json:"rate_limited_429_total"`
+	} `json:"metrics"`
 }
 
 func main() {
@@ -198,11 +211,21 @@ func main() {
 					cli.Fatal("radload", "sample tenants: %v", err)
 				}
 				s := sampleFrom(specs, ts, time.Since(start))
+				// While both tenants are backlogged, also read the daemon's
+				// own strike-share gauge: CI checks it tells the same
+				// fairness story as this client-side sample.
+				var scraped map[string]float64
+				if s.AllBacklogged {
+					scraped, _ = scrapeMetrics(ctx, httpc, *base)
+				}
 				mu.Lock()
 				rep.FairnessSamples = append(rep.FairnessSamples, s)
 				if s.AllBacklogged {
 					last := s
 					rep.MidDrainSample = &last
+					if scraped != nil {
+						midDrainMetrics(&rep, specs, scraped)
+					}
 				}
 				mu.Unlock()
 				select {
@@ -360,6 +383,20 @@ func main() {
 			t.StrikesFinal = byName[t.Tenant].StrikesDone
 			rep.StrikesExecuted += t.StrikesFinal
 		}
+		// Post-drain scrape: the server's 429 count must equal the
+		// rejections every submitter observed (both admission-quota and
+		// rate-limiter rejections land on the responses counter).
+		if scraped, err := scrapeMetrics(ctx, httpc, *base); err == nil {
+			rep.Metrics.ScrapeOK = true
+			for k, v := range scraped {
+				switch {
+				case strings.HasPrefix(k, "radcrit_api_responses_total{") && strings.Contains(k, `code="429"`):
+					rep.Metrics.Responses429 += v
+				case strings.HasPrefix(k, "radcrit_api_rate_limited_total{"):
+					rep.Metrics.RateLimited429 += v
+				}
+			}
+		}
 	}
 	for _, t := range tallies {
 		rep.Tenants = append(rep.Tenants, *t)
@@ -393,6 +430,60 @@ func main() {
 		rep.Submissions.Total, rep.Submissions.Rejected429, rep.Submissions.DurationSeconds, rep.DrainSeconds, *out)
 	if err := prof.Stop(); err != nil {
 		cli.Fatal("radload", "%v", err)
+	}
+}
+
+// scrapeMetrics reads the daemon's Prometheus exposition into a flat
+// map of "family{labels}" → value (HELP/TYPE lines skipped).
+func scrapeMetrics(ctx context.Context, c *http.Client, base string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(line[i+1:], 64); err == nil {
+			out[line[:i]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// midDrainMetrics records the server-side strike-share gauge at the
+// mid-drain instant and its high:low-weight ratio. Called under mu.
+func midDrainMetrics(rep *report, specs []tenantSpec, scraped map[string]float64) {
+	rep.Metrics.MidDrainStrikes = map[string]float64{}
+	var hiW, loW tenantSpec
+	for _, spec := range specs {
+		key := fmt.Sprintf("radcrit_tenant_strikes_done{tenant=%q}", spec.Name)
+		rep.Metrics.MidDrainStrikes[spec.Name] = scraped[key]
+		if hiW.Name == "" || spec.Weight > hiW.Weight {
+			hiW = spec
+		}
+		if loW.Name == "" || spec.Weight < loW.Weight {
+			loW = spec
+		}
+	}
+	if lo := rep.Metrics.MidDrainStrikes[loW.Name]; lo > 0 {
+		rep.Metrics.MidDrainRatio = rep.Metrics.MidDrainStrikes[hiW.Name] / lo
 	}
 }
 

@@ -38,6 +38,7 @@ import (
 	"radcrit/internal/campaign"
 	"radcrit/internal/registry"
 	"radcrit/internal/service"
+	"radcrit/internal/telemetry"
 	"radcrit/internal/tenant"
 )
 
@@ -54,6 +55,8 @@ type Server struct {
 	version string
 	mux     *http.ServeMux
 	timeout time.Duration
+	metrics *serverMetrics // nil without WithMetrics
+	limiter *limiter
 }
 
 // Option configures a Server.
@@ -66,10 +69,20 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.timeout = d }
 }
 
+// WithMetrics instruments the server on reg (per-tenant request,
+// response and latency families, rate-limit rejections) and mounts the
+// registry's Prometheus exposition at GET /metrics.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(s *Server) {
+		s.metrics = newServerMetrics(reg)
+		s.mux.Handle("GET /metrics", reg.Handler())
+	}
+}
+
 // New builds the API handler. version is the daemon's build string
 // (cli.Version()), surfaced at GET /v1/version.
 func New(m *service.Manager, version string, opts ...Option) *Server {
-	s := &Server{m: m, version: version, mux: http.NewServeMux()}
+	s := &Server{m: m, version: version, mux: http.NewServeMux(), limiter: newLimiter(nil)}
 	for _, o := range opts {
 		o(s)
 	}
@@ -80,19 +93,77 @@ func New(m *service.Manager, version string, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("GET /v1/tenants", s.tenants)
+	s.mux.HandleFunc("POST /v1/tenants/reload", s.reloadTenants)
 	s.mux.HandleFunc("GET /v1/registry", s.registry)
 	s.mux.HandleFunc("GET /v1/version", s.versionInfo)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every /v1 request passes the
+// tenant rate limiter (token bucket shaped by the registry's live
+// rate_limit, so reloads bite immediately) and, when metered, the
+// request/response/latency families. The SSE event stream is exempt
+// from the timeout and the latency histogram: it is long-lived by
+// design.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.timeout > 0 && !strings.HasSuffix(r.URL.Path, "/events") {
+	events := strings.HasSuffix(r.URL.Path, "/events")
+	if s.timeout > 0 && !events {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		// Resolution failures (unknown token, unknown tenant) are left to
+		// the handlers' own authorization answers; the limiter and meters
+		// file such requests under the default tenant.
+		name, _, terr := s.resolveTenant(r)
+		if terr != nil {
+			name = tenant.Default
+		}
+		if terr == nil {
+			if tn, ok := s.m.Tenants().Get(name); ok {
+				if allowed, wait := s.limiter.allow(name, tn.Rate); !allowed {
+					if s.metrics != nil {
+						s.metrics.rateLimited.With(name).Inc()
+						s.metrics.responses.With(name, "429").Inc()
+					}
+					secs := int(math.Ceil(wait.Seconds()))
+					if secs < 1 {
+						secs = 1
+					}
+					w.Header().Set("Retry-After", strconv.Itoa(secs))
+					writeErr(w, http.StatusTooManyRequests, "tenant %q over request rate limit", name)
+					return
+				}
+			}
+		}
+		if s.metrics != nil && !events {
+			s.metrics.requests.With(name).Inc()
+			rec := &statusRecorder{ResponseWriter: w}
+			start := time.Now()
+			s.mux.ServeHTTP(rec, r)
+			s.metrics.latency.With(name).Observe(time.Since(start).Seconds())
+			code := rec.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.metrics.responses.With(name, strconv.Itoa(code)).Inc()
+			return
+		}
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// reloadTenants is POST /v1/tenants/reload: re-read tenants.json and
+// re-weight the live queue (service.Manager.ReloadTenants — the same
+// path the SIGHUP handler takes). Answers with the reloaded per-tenant
+// stats.
+func (s *Server) reloadTenants(w http.ResponseWriter, _ *http.Request) {
+	if err := s.m.ReloadTenants(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.m.TenantStats())
 }
 
 // apiError is every error response's body.

@@ -1,0 +1,62 @@
+package api
+
+import (
+	"sync"
+	"time"
+
+	"radcrit/internal/tenant"
+)
+
+// limiter enforces per-tenant token-bucket rate limits (tenants.json
+// "rate_limit": sustained rps plus a burst allowance). The limit itself
+// is read from the tenant registry on every request, so a SIGHUP reload
+// re-shapes the buckets immediately — only the accumulated tokens are
+// state here.
+type limiter struct {
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(now func() time.Time) *limiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &limiter{now: now, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from name's bucket under rl. When the bucket is
+// empty it reports false plus how long until the next token accrues —
+// the Retry-After answer. A zero-RPS limit is unlimited.
+func (l *limiter) allow(name string, rl tenant.RateLimit) (bool, time.Duration) {
+	if rl.RPS <= 0 {
+		return true, 0
+	}
+	burst := float64(rl.EffectiveBurst())
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[name]
+	if b == nil {
+		b = &bucket{tokens: burst, last: now}
+		l.buckets[name] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * rl.RPS
+		b.last = now
+	}
+	if b.tokens > burst {
+		b.tokens = burst // also clamps after a reload shrank the burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.RPS * float64(time.Second))
+	return false, wait
+}

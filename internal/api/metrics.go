@@ -1,0 +1,61 @@
+package api
+
+import (
+	"net/http"
+
+	"radcrit/internal/telemetry"
+)
+
+// serverMetrics is the API layer's instrumentation: request and response
+// counters by tenant, a latency histogram, and the rate-limiter's 429
+// count. Families are registered once in WithMetrics; per-request work
+// is a handful of pre-shaped vec lookups.
+type serverMetrics struct {
+	requests    *telemetry.CounterVec
+	responses   *telemetry.CounterVec
+	latency     *telemetry.HistogramVec
+	rateLimited *telemetry.CounterVec
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: reg.CounterVec("radcrit_api_requests_total",
+			"API requests received, by resolved tenant.",
+			[]string{"tenant"}),
+		responses: reg.CounterVec("radcrit_api_responses_total",
+			"API responses sent, by tenant and status code.",
+			[]string{"tenant", "code"}),
+		latency: reg.HistogramVec("radcrit_api_request_seconds",
+			"API request latency (the SSE event stream is exempt: it is legitimately long-lived).",
+			telemetry.DefBuckets, []string{"tenant"}),
+		rateLimited: reg.CounterVec("radcrit_api_rate_limited_total",
+			"Requests rejected 429 by the tenant token-bucket rate limiter.",
+			[]string{"tenant"}),
+	}
+}
+
+// statusRecorder captures the response status for the responses counter.
+// It forwards Flush so the SSE handler still sees a flusher (the events
+// path skips metrics, but belt and braces).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

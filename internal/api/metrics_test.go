@@ -1,0 +1,232 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"radcrit/internal/service"
+	"radcrit/internal/telemetry"
+	"radcrit/internal/tenant"
+)
+
+// TestLimiterTokenBucket drives the limiter on a fake clock: burst
+// admits back-to-back requests, exhaustion rejects with a sane
+// Retry-After, and refill readmits exactly on schedule.
+func TestLimiterTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newLimiter(func() time.Time { return now })
+	rl := tenant.RateLimit{RPS: 2, Burst: 3}
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("a", rl); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("a", rl)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// Empty bucket at 2 rps: the next token is 500ms away.
+	if wait < 400*time.Millisecond || wait > 600*time.Millisecond {
+		t.Errorf("retry-after = %v, want ~500ms", wait)
+	}
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := l.allow("a", rl); !ok {
+		t.Fatal("request after refill rejected")
+	}
+	// Tenants do not share buckets.
+	if ok, _ := l.allow("b", rl); !ok {
+		t.Fatal("fresh tenant rejected")
+	}
+	// Zero RPS is unlimited.
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.allow("c", tenant.RateLimit{}); !ok {
+			t.Fatal("unlimited tenant rejected")
+		}
+	}
+}
+
+// startMeteredDaemon builds a daemon with a tenants file, metrics and a
+// rate-limited tenant ("slow": 1 rps, burst 2).
+func startMeteredDaemon(t *testing.T, stateDir string) (*testDaemon, *telemetry.Registry) {
+	t.Helper()
+	tpath := filepath.Join(stateDir, "tenants.json")
+	body := `{"tenants":[
+		{"name":"slow","weight":1,"rate_limit":{"rps":1,"burst":2}},
+		{"name":"fast","weight":2}
+	]}`
+	if err := os.WriteFile(tpath, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tenant.Load(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m, err := service.New(service.Options{StateDir: stateDir, Executors: 1, Tenants: tr, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	srv := httptest.NewServer(New(m, "test-build", WithMetrics(reg)))
+	return &testDaemon{m: m, srv: srv, c: NewClient(srv.URL)}, reg
+}
+
+// TestRateLimit429AndClientRetry: the third back-to-back request of a
+// burst-2 tenant is 429 with Retry-After, the 429 counter advances, and
+// the api.Client retries through the rejection to success.
+func TestRateLimit429AndClientRetry(t *testing.T) {
+	d, reg := startMeteredDaemon(t, t.TempDir())
+	defer d.stop(t)
+
+	get := func() (*http.Response, error) {
+		req, _ := http.NewRequest("GET", d.srv.URL+"/v1/jobs", nil)
+		req.Header.Set(TenantHeader, "slow")
+		return http.DefaultClient.Do(req)
+	}
+	codes := []int{}
+	var retryAfter string
+	for i := 0; i < 3; i++ {
+		resp, err := get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			retryAfter = resp.Header.Get("Retry-After")
+		}
+	}
+	if codes[0] != 200 || codes[1] != 200 || codes[2] != 429 {
+		t.Fatalf("burst-2 codes = %v, want [200 200 429]", codes)
+	}
+	if retryAfter == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `radcrit_api_rate_limited_total{tenant="slow"} 1`) {
+		t.Errorf("scrape missing 429 counter:\n%s", sb.String())
+	}
+
+	// The client retries the 429 honoring Retry-After (fake sleep: just
+	// verify the delay is the server's estimate, then proceed).
+	c := NewClient(d.srv.URL)
+	c.Tenant = "slow"
+	var slept []time.Duration
+	c.sleep = func(_ context.Context, dur time.Duration) error {
+		slept = append(slept, dur)
+		// Let real time pass so the bucket actually refills.
+		time.Sleep(1100 * time.Millisecond)
+		return nil
+	}
+	if _, err := c.List(context.Background()); err != nil {
+		t.Fatalf("client did not ride through the 429: %v", err)
+	}
+	if len(slept) == 0 {
+		t.Fatal("client never backed off")
+	}
+	if slept[0] < time.Second {
+		t.Errorf("first backoff %v, want >= Retry-After of 1s", slept[0])
+	}
+}
+
+// TestMetricsEndpoint: GET /metrics serves the Prometheus exposition
+// with API request families once traffic has flowed.
+func TestMetricsEndpoint(t *testing.T) {
+	d, _ := startMeteredDaemon(t, t.TempDir())
+	defer d.stop(t)
+
+	if _, err := d.c.List(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(d.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, telemetry.ContentType)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 64<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`radcrit_api_requests_total{tenant="default"} 1`,
+		`radcrit_api_responses_total{tenant="default",code="200"} 1`,
+		"radcrit_api_request_seconds_bucket",
+		"radcrit_executors 1",
+		"telemetry_series_dropped_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTenantsReloadEndpoint: POST /v1/tenants/reload picks up an edited
+// tenants.json — new weights visible in the response and the registry.
+func TestTenantsReloadEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, _ := startMeteredDaemon(t, dir)
+	defer d.stop(t)
+
+	body := `{"tenants":[{"name":"fast","weight":7}]}`
+	if err := os.WriteFile(filepath.Join(dir, "tenants.json"), []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.srv.URL+"/v1/tenants/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status = %d", resp.StatusCode)
+	}
+	var stats []service.TenantStat
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ts := range stats {
+		if ts.Tenant == "fast" && ts.Weight == 7 {
+			found = true
+		}
+		if ts.Tenant == "slow" {
+			t.Errorf("deleted tenant %q still in stats with weight %d", ts.Tenant, ts.Weight)
+		}
+	}
+	if !found {
+		t.Errorf("reloaded weight not visible: %+v", stats)
+	}
+	if w := d.m.Tenants().Weight("fast"); w != 7 {
+		t.Errorf("registry weight = %d, want 7", w)
+	}
+	// The deleted tenant's identity is gone too: a submit addressed to
+	// "slow" is now 403 unknown-tenant, not 429.
+	req, _ := http.NewRequest("POST", d.srv.URL+"/v1/jobs", strings.NewReader("{}"))
+	req.Header.Set(TenantHeader, "slow")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusForbidden {
+		t.Errorf("deleted tenant submit = %d, want 403", r2.StatusCode)
+	}
+}

@@ -1,0 +1,85 @@
+package fleet
+
+import (
+	"time"
+
+	"radcrit/internal/telemetry"
+)
+
+// RegisterMetrics exports the coordinator's fleet state on reg — all of
+// it scrape-time collectors over the tables the coordinator already
+// guards with its mutex, so the dispatch paths gain no new bookkeeping.
+// Mount reg.Handler() next to Routes to serve it.
+func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterVecFunc("radcrit_fleet_events_total",
+		"Coordinator lifecycle event counts, by event kind.",
+		[]string{"event"}, func(emit func([]string, float64)) {
+			c.mu.Lock()
+			ct := c.counters
+			c.mu.Unlock()
+			for _, e := range []struct {
+				name string
+				n    int
+			}{
+				{"workers_registered", ct.WorkersRegistered},
+				{"workers_expired", ct.WorkersExpired},
+				{"leases_dispatched", ct.LeasesDispatched},
+				{"lease_expiries", ct.LeaseExpiries},
+				{"requeues", ct.Requeues},
+				{"requeued_strikes", ct.RequeuedStrikes},
+				{"abandons", ct.Abandons},
+				{"steals", ct.Steals},
+				{"completions", ct.Completions},
+				{"duplicate_results", ct.DuplicateResults},
+				{"cell_errors", ct.CellErrors},
+				{"local_fallbacks", ct.LocalFallbacks},
+			} {
+				emit([]string{e.name}, float64(e.n))
+			}
+		})
+	reg.GaugeFunc("radcrit_fleet_workers",
+		"Workers currently registered (healthy or not).",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.workers))
+		})
+	reg.GaugeFunc("radcrit_fleet_active_leases",
+		"Leases currently outstanding.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.leases))
+		})
+	reg.GaugeFunc("radcrit_fleet_active_items",
+		"Cells queued or under lease.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.items))
+		})
+	reg.GaugeVecFunc("radcrit_fleet_queue_depth",
+		"Pending (unleased) cells per tenant.",
+		[]string{"tenant"}, func(emit func([]string, float64)) {
+			c.mu.Lock()
+			depths := c.pending.Depths()
+			c.mu.Unlock()
+			for name, d := range depths {
+				emit([]string{name}, float64(d))
+			}
+		})
+	reg.GaugeVecFunc("radcrit_fleet_worker_heartbeat_seconds",
+		"Age of each registered worker's last contact.",
+		[]string{"worker"}, func(emit func([]string, float64)) {
+			now := time.Now()
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			for _, ws := range c.workers {
+				name := ws.name
+				if name == "" {
+					name = ws.id
+				}
+				emit([]string{name}, now.Sub(ws.lastSeen).Seconds())
+			}
+		})
+}

@@ -15,6 +15,7 @@ import (
 
 	"radcrit/internal/campaign"
 	"radcrit/internal/injector"
+	"radcrit/internal/service"
 )
 
 // WorkerOptions configures one worker process (radcritd -worker).
@@ -28,6 +29,10 @@ type WorkerOptions struct {
 	Client *http.Client
 	// Logf receives worker lifecycle lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, meters every executed cell's strike stream
+	// (radcrit_strikes_total, radcrit_chunk_seconds) — the worker half of
+	// the engine telemetry; serve it with -metrics-addr.
+	Metrics *service.EngineMetrics
 	// ThrottleChunk inserts a pause after every flushed chunk. Production
 	// leaves it zero; the chaos harness uses it to hold a cell in flight
 	// long enough to kill the worker mid-cell deterministically.
@@ -276,8 +281,12 @@ func (w *Worker) executeCell(ctx context.Context, item *WorkItem, buf *logBuffer
 	if err != nil {
 		return campaign.StreamInfo{}, nil, err
 	}
+	sinks := []campaign.Sink{tracker}
+	if w.opts.Metrics != nil {
+		sinks = append(sinks, w.opts.Metrics.Sink(item.Spec.Kernel, item.Spec.Device))
+	}
 	if len(item.Log) > 0 {
-		return campaign.ResumePlanCell(ctx, bytes.NewReader(item.Log), buf, cell, cfg, item.Cfg.Thresholds, tracker)
+		return campaign.ResumePlanCell(ctx, bytes.NewReader(item.Log), buf, cell, cfg, item.Cfg.Thresholds, sinks...)
 	}
 	info, err := campaign.CellInfo(cell.Dev, cell.Kern, cfg)
 	if err != nil {
@@ -287,7 +296,7 @@ func (w *Worker) executeCell(ctx context.Context, item *WorkItem, buf *logBuffer
 	if err != nil {
 		return campaign.StreamInfo{}, nil, err
 	}
-	info, sum, err := campaign.RunPlanCell(ctx, cell, cfg, item.Cfg.Thresholds, chk, tracker)
+	info, sum, err := campaign.RunPlanCell(ctx, cell, cfg, item.Cfg.Thresholds, append(sinks, chk)...)
 	if err != nil {
 		return info, sum, err
 	}

@@ -167,7 +167,7 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 		n := k.side * k.side
 		k.handle = &goldenTimeline{
 			k: k,
-			scr: scratch.NewPool(func() *injectScratch {
+			scr: scratch.NewNamedPool("clamr.inject", func() *injectScratch {
 				return &injectScratch{cur: newState(n), next: newState(n), fr: newFluxRows(k.side)}
 			}),
 		}

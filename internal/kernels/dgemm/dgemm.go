@@ -160,7 +160,7 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 	k.goldenOnce.Do(func() {
 		k.golden = &goldenProduct{
 			k:   k,
-			scr: scratch.NewPool(func() *runScratch { return &runScratch{} }),
+			scr: scratch.NewNamedPool("dgemm.run", func() *runScratch { return &runScratch{} }),
 		}
 	})
 	return k.golden

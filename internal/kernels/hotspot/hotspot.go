@@ -101,7 +101,7 @@ func (k *Kernel) Golden(dev arch.Device) kernels.GoldenState {
 		n := k.side * k.side
 		k.handle = &goldenTimeline{
 			k: k,
-			scr: scratch.NewPool(func() *evolveScratch {
+			scr: scratch.NewNamedPool("hotspot.evolve", func() *evolveScratch {
 				return &evolveScratch{diff: make([]float64, n), next: make([]float64, n)}
 			}),
 		}

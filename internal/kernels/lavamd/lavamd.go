@@ -122,7 +122,7 @@ func (k *Kernel) handleFor(p int) *goldenHandle {
 		return v.(*goldenHandle)
 	}
 	h := &goldenHandle{k: k, p: p, tab: k.newGoldenTab(p),
-		scr: scratch.NewPool(func() *runScratch { return &runScratch{} })}
+		scr: scratch.NewNamedPool("lavamd.run", func() *runScratch { return &runScratch{} })}
 	v, _ := k.handles.LoadOrStore(p, h)
 	return v.(*goldenHandle)
 }

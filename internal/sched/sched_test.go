@@ -252,3 +252,75 @@ func TestDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestSetWeightEffectiveNextPop pins the hot-reload contract: a weight
+// changed via SetWeight reshapes the drain of an ALREADY-queued backlog
+// starting with the very next Pop — no re-Push needed.
+func TestSetWeightEffectiveNextPop(t *testing.T) {
+	q := NewQueue[string]()
+	var seq uint64
+	const itemCost = 50_000
+	for i := 0; i < 400; i++ {
+		seq++
+		q.Push("a", 1, 0, seq, itemCost, "a")
+		seq++
+		q.Push("b", 1, 0, seq, itemCost, "b")
+	}
+	// Reload: tenant a is now weight 3. Every subsequent pop must price
+	// a's items at cost/3.
+	q.SetWeight("a", 3)
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		counts[v]++
+	}
+	ratio := float64(counts["a"]) / float64(counts["b"])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("a:b pop ratio after SetWeight = %.2f (%d:%d), want 3.0 ±10%%", ratio, counts["a"], counts["b"])
+	}
+	// Unknown tenants are a no-op (removed tenants keep their old weight).
+	q.SetWeight("ghost", 9)
+	if _, ok := q.tenants["ghost"]; ok {
+		t.Fatal("SetWeight invented a tenant")
+	}
+}
+
+// TestLags: backlogged tenants report vfinish - vtime; under equal
+// weights and equal costs the lags stay within one item's virtual cost
+// of zero, and idle tenants are absent.
+func TestLags(t *testing.T) {
+	q := NewQueue[string]()
+	var seq uint64
+	for i := 0; i < 10; i++ {
+		seq++
+		q.Push("a", 1, 0, seq, 1000, "a")
+		seq++
+		q.Push("b", 1, 0, seq, 1000, "b")
+	}
+	for i := 0; i < 10; i++ {
+		q.Pop()
+	}
+	lags := q.Lags()
+	if len(lags) != 2 {
+		t.Fatalf("lags = %v, want both tenants backlogged", lags)
+	}
+	for name, lag := range lags {
+		if lag < -1000 || lag > 1000 {
+			t.Errorf("tenant %s lag = %v, want within one item cost of 0", name, lag)
+		}
+	}
+	// Drain a's backlog: it must vanish from the lag map.
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		_ = v
+	}
+	if lags := q.Lags(); len(lags) != 0 {
+		t.Fatalf("drained queue lags = %v, want empty", lags)
+	}
+}

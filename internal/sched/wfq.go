@@ -159,6 +159,39 @@ func (q *Queue[T]) Remove(tenant string, seq uint64) (T, bool) {
 	return zero, false
 }
 
+// SetWeight updates a tenant's weight in place (>= 1; lower is clamped),
+// taking effect on the next Pop — the hot-reload path, where waiting for
+// the tenant's next Push would leave an already-queued backlog draining
+// under the stale weight. Unknown tenants are a no-op: a tenant removed
+// from the registry is deliberately never re-weighted, so its queued
+// jobs drain under the last weight they were admitted with.
+func (q *Queue[T]) SetWeight(tenant string, weight int) {
+	ts := q.tenants[tenant]
+	if ts == nil {
+		return
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	ts.weight = float64(weight)
+}
+
+// Lags maps every backlogged tenant to its virtual-time lag: the
+// tenant's virtual finish minus the global virtual clock. Around zero
+// the tenant is receiving exactly its weighted share; persistently
+// positive means it has been served ahead of the clock, persistently
+// negative means it is starved — the fairness-drift signal the
+// telemetry layer exports.
+func (q *Queue[T]) Lags() map[string]float64 {
+	out := map[string]float64{}
+	for name, ts := range q.tenants {
+		if len(ts.h) > 0 {
+			out[name] = ts.vfinish - q.vtime
+		}
+	}
+	return out
+}
+
 // Len is the total number of queued items.
 func (q *Queue[T]) Len() int { return q.length }
 

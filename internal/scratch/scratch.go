@@ -30,16 +30,23 @@ import (
 // are the caller's contract: establish them before Put, rely on them after
 // Get.
 type Pool[T any] struct {
-	pool sync.Pool
+	pool  sync.Pool
+	stats *PoolStats // nil for anonymous pools (NewPool)
 }
 
 // NewPool returns a pool whose cold Gets construct values with newFn.
+// NewNamedPool (metrics.go) is the metered variant.
 func NewPool[T any](newFn func() T) *Pool[T] {
 	return &Pool[T]{pool: sync.Pool{New: func() any { return newFn() }}}
 }
 
 // Get borrows a value from the pool.
-func (p *Pool[T]) Get() T { return p.pool.Get().(T) }
+func (p *Pool[T]) Get() T {
+	if p.stats != nil {
+		p.stats.gets.Add(1)
+	}
+	return p.pool.Get().(T)
+}
 
 // Put returns a value to the pool. The caller must not use v afterwards.
 func (p *Pool[T]) Put(v T) { p.pool.Put(v) }

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"time"
+
+	"radcrit/internal/fault"
+	"radcrit/internal/injector"
+	"radcrit/internal/store"
+	"radcrit/internal/telemetry"
+)
+
+// EngineMetrics owns the campaign engine's telemetry families: strike
+// outcomes by kernel/device/class and chunk latency by kernel. One set
+// per registry; the service manager and the fleet worker both consume it
+// through Sink.
+type EngineMetrics struct {
+	strikes *telemetry.CounterVec
+	chunks  *telemetry.HistogramVec
+}
+
+// NewEngineMetrics registers the engine families on reg (idempotent —
+// re-registration returns the same underlying state).
+func NewEngineMetrics(reg *telemetry.Registry) *EngineMetrics {
+	return &EngineMetrics{
+		strikes: reg.CounterVec("radcrit_strikes_total",
+			"Strikes executed, by kernel, device and fault class (masked, sdc, due).",
+			[]string{"kernel", "device", "class"}),
+		chunks: reg.HistogramVec("radcrit_chunk_seconds",
+			"Wall time between consecutive chunk boundaries of a streaming cell.",
+			telemetry.DefBuckets, []string{"kernel"}),
+	}
+}
+
+// Sink builds a campaign sink that meters one cell's strike stream. The
+// counter children are resolved here, once per cell; Consume is a plain
+// local increment (the engine delivers outcomes from a single goroutine,
+// in order) and the accumulated tallies reach the shared counters only
+// at chunk boundaries — the strike hot path performs zero atomic or
+// shared-memory operations per strike.
+func (em *EngineMetrics) Sink(kernel, device string) *StrikeSink {
+	return &StrikeSink{
+		masked: em.strikes.With(kernel, device, "masked"),
+		sdc:    em.strikes.With(kernel, device, "sdc"),
+		due:    em.strikes.With(kernel, device, "due"),
+		chunk:  em.chunks.With(kernel),
+		last:   time.Now(),
+	}
+}
+
+// StrikeSink implements campaign.Sink and campaign.ChunkFlusher: it
+// tallies fault classes locally per chunk and flushes to pre-resolved
+// counters at chunk boundaries.
+type StrikeSink struct {
+	masked, sdc, due *telemetry.Counter
+	chunk            *telemetry.Histogram
+
+	nMasked, nSDC, nDUE uint64
+	last                time.Time
+}
+
+// Consume tallies one strike outcome. Crash and Hang fold into the
+// paper's DUE class (detected unrecoverable error).
+func (s *StrikeSink) Consume(_ int, out injector.Outcome) {
+	switch out.Class {
+	case fault.Masked:
+		s.nMasked++
+	case fault.SDC:
+		s.nSDC++
+	default:
+		s.nDUE++
+	}
+}
+
+// FlushChunk publishes the chunk's tallies and latency.
+func (s *StrikeSink) FlushChunk(int) {
+	now := time.Now()
+	s.chunk.Observe(now.Sub(s.last).Seconds())
+	s.last = now
+	if s.nMasked > 0 {
+		s.masked.Add(s.nMasked)
+		s.nMasked = 0
+	}
+	if s.nSDC > 0 {
+		s.sdc.Add(s.nSDC)
+		s.nSDC = 0
+	}
+	if s.nDUE > 0 {
+		s.due.Add(s.nDUE)
+		s.nDUE = 0
+	}
+}
+
+// managerMetrics is the Manager's own instrumentation: event counters
+// incremented at job/cell transitions, plus scrape-time collectors over
+// the queue and job table (registered in newManagerMetrics; they take
+// m.mu only while a scrape is rendering).
+type managerMetrics struct {
+	engine *EngineMetrics
+	jobs   *telemetry.CounterVec
+	cells  *telemetry.CounterVec
+	busy   *telemetry.Gauge
+	drain  *telemetry.Gauge
+}
+
+// newManagerMetrics registers the manager's families and collectors.
+// Called from New before Start, never under m.mu.
+func newManagerMetrics(reg *telemetry.Registry, m *Manager) *managerMetrics {
+	mm := &managerMetrics{
+		engine: NewEngineMetrics(reg),
+		jobs: reg.CounterVec("radcrit_jobs_total",
+			"Job state transitions, by tenant and entered state.",
+			[]string{"tenant", "state"}),
+		cells: reg.CounterVec("radcrit_cells_total",
+			"Completed cells, by tenant and outcome (done, failed, cached, resumed, remote).",
+			[]string{"tenant", "outcome"}),
+		busy: reg.Gauge("radcrit_executors_busy",
+			"Executors currently running a job."),
+		drain: reg.Gauge("radcrit_drain_seconds",
+			"Duration of the last completed drain."),
+	}
+	reg.GaugeFunc("radcrit_executors",
+		"Size of the executor pool.",
+		func() float64 { return float64(m.opts.Executors) })
+	reg.GaugeVecFunc("radcrit_queue_depth",
+		"Queued jobs per tenant.",
+		[]string{"tenant"}, func(emit func([]string, float64)) {
+			m.mu.Lock()
+			depths := m.queue.Depths()
+			m.mu.Unlock()
+			for name, d := range depths {
+				emit([]string{name}, float64(d))
+			}
+		})
+	reg.GaugeVecFunc("radcrit_sched_vtime_lag",
+		"Per-tenant virtual-time lag of the weighted-fair queue (fairness drift: ~0 is a fair share, persistently negative is starvation).",
+		[]string{"tenant"}, func(emit func([]string, float64)) {
+			m.mu.Lock()
+			lags := m.queue.Lags()
+			m.mu.Unlock()
+			for name, l := range lags {
+				emit([]string{name}, l)
+			}
+		})
+	reg.GaugeVecFunc("radcrit_tenant_weight",
+		"Registered scheduling weight per tenant.",
+		[]string{"tenant"}, func(emit func([]string, float64)) {
+			for _, t := range m.tenants.All() {
+				emit([]string{t.Name}, float64(t.EffectiveWeight()))
+			}
+		})
+	reg.GaugeVecFunc("radcrit_tenant_strikes_done",
+		"Strikes consumed so far across a tenant's known jobs.",
+		[]string{"tenant"}, func(emit func([]string, float64)) {
+			for name, done := range m.tenantStrikes() {
+				emit([]string{name}, float64(done))
+			}
+		})
+	return mm
+}
+
+// tenantStrikes sums consumed strikes over the job table, per tenant.
+func (m *Manager) tenantStrikes() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]int{}
+	for _, j := range m.jobs {
+		for _, c := range j.cells {
+			out[j.Tenant] += c.Strikes
+		}
+	}
+	return out
+}
+
+// countState records one job state transition (nil-safe).
+func (mm *managerMetrics) countState(tenant string, s State) {
+	if mm == nil {
+		return
+	}
+	mm.jobs.With(tenant, string(s)).Inc()
+}
+
+// countCell records one completed cell's outcome (nil-safe). Precedence:
+// failed > cached > resumed > remote > done, so each cell lands in
+// exactly one class.
+func (mm *managerMetrics) countCell(tenant string, cr *CellResult) {
+	if mm == nil {
+		return
+	}
+	outcome := "done"
+	switch {
+	case cr.Error != "":
+		outcome = "failed"
+	case cr.Cached:
+		outcome = "cached"
+	case cr.Resumed:
+		outcome = "resumed"
+	case cr.Remote:
+		outcome = "remote"
+	}
+	mm.cells.With(tenant, outcome).Inc()
+}
+
+// sink builds a cell's strike-metering sink (nil when unmetered).
+func (mm *managerMetrics) sink(kernel, device string) *StrikeSink {
+	if mm == nil {
+		return nil
+	}
+	return mm.engine.Sink(kernel, device)
+}
+
+// backendName labels a store backend's metric series.
+func backendName(b store.Backend) string {
+	switch b.(type) {
+	case *store.Store:
+		return "disk"
+	case *store.Mem:
+		return "mem"
+	default:
+		return "remote"
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"radcrit/internal/injector"
 	"radcrit/internal/sched"
 	"radcrit/internal/store"
+	"radcrit/internal/telemetry"
 	"radcrit/internal/tenant"
 )
 
@@ -261,6 +262,12 @@ type Options struct {
 	// serialised per job, so a fleetless manager behaves exactly like the
 	// sequential one.
 	Remote RemoteRunner
+	// Metrics, when non-nil, instruments the manager on that registry:
+	// job/cell transition counters, queue-depth and fairness-drift
+	// collectors, store hit/miss metering (the backend is wrapped), and
+	// per-chunk engine metering on locally executed cells. Nil runs
+	// unmetered with zero overhead.
+	Metrics *telemetry.Registry
 }
 
 // ErrNotFinished is returned by Result for a job still queued or running.
@@ -299,6 +306,7 @@ type Manager struct {
 	store   store.Backend
 	tenants *tenant.Registry
 	cost    sched.CostModel
+	metrics *managerMetrics // nil when Options.Metrics is nil
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -339,6 +347,9 @@ func New(opts Options) (*Manager, error) {
 	if tenants == nil {
 		tenants = tenant.NewRegistry()
 	}
+	if opts.Metrics != nil {
+		backend = store.NewMetrics(opts.Metrics).Wrap(backend, backendName(backend))
+	}
 	if err := os.MkdirAll(filepath.Join(opts.StateDir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
 	}
@@ -354,6 +365,9 @@ func New(opts Options) (*Manager, error) {
 		subs:       map[string]map[chan Event]bool{},
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if opts.Metrics != nil {
+		m.metrics = newManagerMetrics(opts.Metrics, m)
+	}
 	if err := m.load(); err != nil {
 		cancel()
 		return nil, err
@@ -477,7 +491,13 @@ func (m *Manager) Start() {
 				if j == nil {
 					return
 				}
+				if m.metrics != nil {
+					m.metrics.busy.Add(1)
+				}
 				m.runJob(m.baseCtx, j)
+				if m.metrics != nil {
+					m.metrics.busy.Add(-1)
+				}
 			}
 		}()
 	}
@@ -524,6 +544,7 @@ func (m *Manager) jobCost(p *campaign.Plan) uint64 {
 // directory resumes them. Blocks until the executors have exited or ctx
 // expires.
 func (m *Manager) Drain(ctx context.Context) error {
+	begin := time.Now()
 	m.mu.Lock()
 	m.closed = true
 	m.cond.Broadcast()
@@ -536,6 +557,9 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if m.metrics != nil {
+			m.metrics.drain.Set(time.Since(begin).Seconds())
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
@@ -592,9 +616,29 @@ func (m *Manager) SubmitAs(tenantName string, p *campaign.Plan, priority int) (S
 	}
 	m.jobs[id] = j
 	m.enqueueLocked(j)
+	m.metrics.countState(j.Tenant, StateQueued)
 	m.cond.Signal()
 	m.pruneJobsLocked()
 	return m.snapshotLocked(j), nil
+}
+
+// ReloadTenants re-reads tenants.json (tenant.Registry.Reload) and
+// re-weights the scheduler's live sub-queues so new weights take effect
+// on the very next Pop, not the next submission. Only tenants present in
+// the reloaded registry are touched: a tenant deleted from the file
+// keeps its last admitted weight until its queued jobs drain, which is
+// exactly the "removed tenants drain under their old weight" contract.
+// The SIGHUP handler and POST /v1/tenants/reload both land here.
+func (m *Manager) ReloadTenants() error {
+	if err := m.tenants.Reload(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.tenants.All() {
+		m.queue.SetWeight(t.Name, t.EffectiveWeight())
+	}
+	return nil
 }
 
 // tenantUsage aggregates one tenant's outstanding (non-terminal) work.
@@ -818,6 +862,7 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 	case j.State == StateQueued:
 		m.queue.Remove(j.Tenant, j.Seq)
 		j.State = StateCancelled
+		m.metrics.countState(j.Tenant, StateCancelled)
 		j.Error = "cancelled by client"
 		now := time.Now()
 		j.Finished = &now
@@ -1017,6 +1062,7 @@ func (m *Manager) runJob(ctx context.Context, j *Job) {
 	now := time.Now()
 	j.Started = &now
 	_ = m.persistJobLocked(j)
+	m.metrics.countState(j.Tenant, StateRunning)
 	m.publishLocked(Event{Type: "state", JobID: j.ID, State: StateRunning})
 	m.mu.Unlock()
 
@@ -1135,6 +1181,7 @@ func (m *Manager) finishJob(j *Job, outcomes []CellResult, err error) {
 		j.Finished = &now
 		m.writeResultLocked(j)
 	}
+	m.metrics.countState(j.Tenant, j.State)
 	_ = m.persistJobLocked(j)
 	m.publishLocked(Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error})
 }
@@ -1222,6 +1269,12 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 
 	m.setCellState(j, i, CellStatus{State: "running", Total: total}, false)
 	relay := &progressSink{m: m, j: j, cell: i}
+	// Local sinks: the progress relay plus, when metered, the strike
+	// sink (children resolved once here, flushed at chunk boundaries).
+	sinks := []campaign.Sink{relay}
+	if ss := m.metrics.sink(spec.Kernel, spec.Device); ss != nil {
+		sinks = append(sinks, ss)
+	}
 
 	var info campaign.StreamInfo
 	var sum *campaign.Summary
@@ -1268,17 +1321,17 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 			localMu.Lock()
 			if prev, err := os.ReadFile(logPath); err == nil && len(prev) > 0 {
 				resumed = true
-				info, sum, runErr = m.resumeCell(jctx, prev, logPath, cell, cfg, ts, relay)
+				info, sum, runErr = m.resumeCell(jctx, prev, logPath, cell, cfg, ts, sinks)
 				if runErr != nil && !isCancellation(runErr) {
 					// The log could not be resumed (damaged beyond salvage, or it
 					// describes something else): discard it and run fresh rather
 					// than wedging the job forever.
 					_ = os.Remove(logPath)
 					resumed = false
-					info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+					info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, sinks)
 				}
 			} else {
-				info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, relay)
+				info, sum, runErr = m.freshCell(jctx, logPath, cell, cfg, ts, sinks)
 			}
 			localMu.Unlock()
 		}
@@ -1314,6 +1367,7 @@ func (m *Manager) runCell(jctx context.Context, j *Job, i int, getCell func() (c
 
 // finishCell persists a completed cell outcome and updates live status.
 func (m *Manager) finishCell(j *Job, i int, cr *CellResult, total int) {
+	m.metrics.countCell(j.Tenant, cr)
 	if data, err := json.MarshalIndent(cr, "", "  "); err == nil {
 		_ = writeFileAtomic(m.cellResultPath(j.ID, i), data)
 	}
@@ -1339,7 +1393,7 @@ func cellStatusOf(cr *CellResult, total int) CellStatus {
 }
 
 // freshCell runs a cell from strike zero under a new checkpoint log.
-func (m *Manager) freshCell(jctx context.Context, logPath string, cell campaign.Cell, cfg campaign.Config, ts []float64, relay campaign.Sink) (campaign.StreamInfo, *campaign.Summary, error) {
+func (m *Manager) freshCell(jctx context.Context, logPath string, cell campaign.Cell, cfg campaign.Config, ts []float64, sinks []campaign.Sink) (campaign.StreamInfo, *campaign.Summary, error) {
 	info, err := campaign.CellInfo(cell.Dev, cell.Kern, cfg)
 	if err != nil {
 		return campaign.StreamInfo{}, nil, err
@@ -1353,7 +1407,7 @@ func (m *Manager) freshCell(jctx context.Context, logPath string, cell campaign.
 		f.Close()
 		return info, nil, err
 	}
-	info, sum, runErr := campaign.RunPlanCell(jctx, cell, cfg, ts, relay, chk)
+	info, sum, runErr := campaign.RunPlanCell(jctx, cell, cfg, ts, append(append([]campaign.Sink{}, sinks...), chk)...)
 	if runErr == nil {
 		runErr = chk.Close() // writes the #END trailer
 	}
@@ -1367,13 +1421,13 @@ func (m *Manager) freshCell(jctx context.Context, logPath string, cell campaign.
 
 // resumeCell completes a cell from its truncated checkpoint log,
 // rewriting the log (replayed prefix + re-run tail) alongside.
-func (m *Manager) resumeCell(jctx context.Context, prev []byte, logPath string, cell campaign.Cell, cfg campaign.Config, ts []float64, relay campaign.Sink) (campaign.StreamInfo, *campaign.Summary, error) {
+func (m *Manager) resumeCell(jctx context.Context, prev []byte, logPath string, cell campaign.Cell, cfg campaign.Config, ts []float64, sinks []campaign.Sink) (campaign.StreamInfo, *campaign.Summary, error) {
 	tmp := logPath + ".resume"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return campaign.StreamInfo{}, nil, fmt.Errorf("service: checkpoint log: %w", err)
 	}
-	info, sum, runErr := campaign.ResumePlanCell(jctx, bytes.NewReader(prev), f, cell, cfg, ts, relay)
+	info, sum, runErr := campaign.ResumePlanCell(jctx, bytes.NewReader(prev), f, cell, cfg, ts, sinks...)
 	if cerr := f.Close(); runErr == nil {
 		runErr = cerr
 	}

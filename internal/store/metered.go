@@ -1,0 +1,132 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"radcrit/internal/telemetry"
+)
+
+// Metrics owns the store's telemetry families — one set per registry,
+// shared by however many backends the process wraps (the label
+// distinguishes them). Wrap decorates a Backend with hit/miss/byte/GC
+// accounting on the operation path and a scrape-time size gauge.
+type Metrics struct {
+	hits      *telemetry.CounterVec
+	misses    *telemetry.CounterVec
+	putBytes  *telemetry.CounterVec
+	evictions *telemetry.CounterVec
+	reclaimed *telemetry.CounterVec
+	entries   *telemetry.GaugeVec
+	bytes     *telemetry.GaugeVec
+}
+
+// NewMetrics registers the store families on reg.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	l := []string{"backend"}
+	return &Metrics{
+		hits:      reg.CounterVec("radcrit_store_hits_total", "Get calls served from the content-addressed store.", l),
+		misses:    reg.CounterVec("radcrit_store_misses_total", "Get calls that found no entry.", l),
+		putBytes:  reg.CounterVec("radcrit_store_put_bytes_total", "Bytes written into the store.", l),
+		evictions: reg.CounterVec("radcrit_store_evictions_total", "Entries evicted by LRU GC.", l),
+		reclaimed: reg.CounterVec("radcrit_store_reclaimed_bytes_total", "Bytes reclaimed by LRU GC.", l),
+		entries:   reg.GaugeVec("radcrit_store_entries", "Entries currently resident (sampled; refreshed at most every few seconds).", l),
+		bytes:     reg.GaugeVec("radcrit_store_bytes", "Bytes currently resident (sampled; refreshed at most every few seconds).", l),
+	}
+}
+
+// statsRefresh bounds how often a metered backend re-walks Stats — the
+// disk store's Stats is a directory walk, too heavy to run per scrape
+// under an aggressive scraper.
+const statsRefresh = 5 * time.Second
+
+// Metered decorates a Backend with telemetry. It forwards every call
+// unchanged, so the conformance contract (atomic Put, recency-refreshing
+// Get, deterministic GC) is untouched.
+type Metered struct {
+	b Backend
+
+	hits, misses, putBytes, evictions, reclaimed *telemetry.Counter
+	entries, bytes                               *telemetry.Gauge
+
+	mu       sync.Mutex
+	lastScan time.Time
+}
+
+// Wrap decorates b, labeling its series with the backend name
+// ("disk", "mem", "remote").
+func (m *Metrics) Wrap(b Backend, backend string) *Metered {
+	w := &Metered{
+		b:         b,
+		hits:      m.hits.With(backend),
+		misses:    m.misses.With(backend),
+		putBytes:  m.putBytes.With(backend),
+		evictions: m.evictions.With(backend),
+		reclaimed: m.reclaimed.With(backend),
+		entries:   m.entries.With(backend),
+		bytes:     m.bytes.With(backend),
+	}
+	w.refreshSize()
+	return w
+}
+
+// refreshSize re-samples Stats into the size gauges, rate-limited.
+func (w *Metered) refreshSize() {
+	w.mu.Lock()
+	now := time.Now()
+	if !w.lastScan.IsZero() && now.Sub(w.lastScan) < statsRefresh {
+		w.mu.Unlock()
+		return
+	}
+	w.lastScan = now
+	w.mu.Unlock()
+	if n, size, err := w.b.Stats(); err == nil {
+		w.entries.Set(float64(n))
+		w.bytes.Set(float64(size))
+	}
+}
+
+// Put implements Backend.
+func (w *Metered) Put(key string, data []byte) error {
+	err := w.b.Put(key, data)
+	if err == nil {
+		w.putBytes.Add(uint64(len(data)))
+		w.refreshSize()
+	}
+	return err
+}
+
+// Get implements Backend.
+func (w *Metered) Get(key string) ([]byte, bool) {
+	data, ok := w.b.Get(key)
+	if ok {
+		w.hits.Inc()
+	} else {
+		w.misses.Inc()
+	}
+	return data, ok
+}
+
+// Has implements Backend.
+func (w *Metered) Has(key string) bool { return w.b.Has(key) }
+
+// Delete implements Backend.
+func (w *Metered) Delete(key string) error { return w.b.Delete(key) }
+
+// Stats implements Backend.
+func (w *Metered) Stats() (int, int64, error) { return w.b.Stats() }
+
+// GC implements Backend.
+func (w *Metered) GC(maxBytes int64) (int, int64, error) {
+	evicted, reclaimed, err := w.b.GC(maxBytes)
+	if err == nil {
+		if evicted > 0 {
+			w.evictions.Add(uint64(evicted))
+			w.reclaimed.Add(uint64(reclaimed))
+		}
+		w.refreshSize()
+	}
+	return evicted, reclaimed, err
+}
+
+var _ Backend = (*Metered)(nil)

@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type the Handler
+// answers with.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns the GET /metrics endpoint: the registry rendered in
+// Prometheus text format 0.0.4.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		bw := bufio.NewWriter(w)
+		r.WritePrometheus(bw)
+		_ = bw.Flush()
+	})
+}
+
+// WritePrometheus renders every family: families in name order, series
+// in label-value order, HELP/TYPE lines once per family.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.sortedFamilies() {
+		f.write(w)
+	}
+}
+
+// sample is one exposition line's payload before formatting.
+type sample struct {
+	labelValues []string
+	value       float64
+	s           *series // static families; nil for collector samples
+}
+
+func (f *family) write(w io.Writer) {
+	var samples []sample
+	if f.collect != nil {
+		f.collect(func(labelValues []string, v float64) {
+			if len(labelValues) != len(f.labels) {
+				panic(fmt.Sprintf("telemetry: collector for %q emitted %d label values, want %d", f.name, len(labelValues), len(f.labels)))
+			}
+			samples = append(samples, sample{labelValues: append([]string(nil), labelValues...), value: v})
+		})
+	} else {
+		f.mu.RLock()
+		for _, s := range f.children {
+			samples = append(samples, sample{labelValues: s.labels, s: s})
+		}
+		if f.overflow != nil {
+			samples = append(samples, sample{labelValues: f.overflow.labels, s: f.overflow})
+		}
+		f.mu.RUnlock()
+	}
+	// Families render their HELP/TYPE metadata even with zero series
+	// (legal in the text format): a scraper can rely on a registered
+	// family being discoverable before its first sample, and an idle
+	// vec — a drained queue's depth gauge, say — does not flap in and
+	// out of the exposition.
+	sort.Slice(samples, func(i, j int) bool {
+		a, b := samples[i].labelValues, samples[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, sm := range samples {
+		switch {
+		case sm.s == nil:
+			writeSample(w, f.name, f.labels, sm.labelValues, "", "", formatFloat(sm.value))
+		case f.kind == kindCounter:
+			writeSample(w, f.name, f.labels, sm.labelValues, "", "", strconv.FormatUint(sm.s.c.Value(), 10))
+		case f.kind == kindGauge:
+			writeSample(w, f.name, f.labels, sm.labelValues, "", "", formatFloat(sm.s.g.Value()))
+		case f.kind == kindHistogram:
+			h := sm.s.h
+			var cum uint64
+			for i, ub := range h.upper {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name+"_bucket", f.labels, sm.labelValues, "le", formatFloat(ub), strconv.FormatUint(cum, 10))
+			}
+			cum += h.counts[len(h.upper)].Load()
+			writeSample(w, f.name+"_bucket", f.labels, sm.labelValues, "le", "+Inf", strconv.FormatUint(cum, 10))
+			writeSample(w, f.name+"_sum", f.labels, sm.labelValues, "", "", formatFloat(h.Sum()))
+			writeSample(w, f.name+"_count", f.labels, sm.labelValues, "", "", strconv.FormatUint(h.Count(), 10))
+		}
+	}
+}
+
+// writeSample renders one line: name{labels[,extraName="extraValue"]} value.
+func writeSample(w io.Writer, name string, labelNames, labelValues []string, extraName, extraValue, value string) {
+	io.WriteString(w, name)
+	if len(labelNames) > 0 || extraName != "" {
+		io.WriteString(w, "{")
+		for i, ln := range labelNames {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `%s="%s"`, ln, escapeLabel(labelValues[i]))
+		}
+		if extraName != "" {
+			if len(labelNames) > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `%s="%s"`, extraName, escapeLabel(extraValue))
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, value)
+	io.WriteString(w, "\n")
+}
+
+// formatFloat renders a sample value: shortest round-trip decimal, with
+// the infinities in Prometheus spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// RegisterBuildInfo exports the conventional build_info gauge: constant
+// 1, with the build identity in labels (version string, Go runtime, and
+// the host's core count — the denominator of any utilization ratio).
+func RegisterBuildInfo(r *Registry, name, version string) {
+	cores := strconv.Itoa(runtime.NumCPU())
+	goVersion := runtime.Version()
+	r.GaugeVecFunc(name,
+		"Build and host identity; always 1.",
+		[]string{"version", "go", "cores"},
+		func(emit func([]string, float64)) {
+			emit([]string{version, goVersion, cores}, 1)
+		})
+}

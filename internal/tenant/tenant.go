@@ -41,6 +41,30 @@ type Quotas struct {
 	MaxPlannedStrikes int `json:"max_planned_strikes,omitempty"`
 }
 
+// RateLimit is a tenant's API-level token-bucket rate limit — requests
+// per second with a burst allowance, enforced by the API middleware
+// before any handler runs (the queue quotas in Quotas bound admitted
+// work; this bounds the request stream itself). Zero RPS means
+// unlimited.
+type RateLimit struct {
+	// RPS is the sustained request rate (tokens refilled per second).
+	RPS float64 `json:"rps,omitempty"`
+	// Burst is the bucket capacity (default: ceil(RPS), minimum 1) — how
+	// many requests may arrive back to back before the limiter bites.
+	Burst int `json:"burst,omitempty"`
+}
+
+// EffectiveBurst normalises the bucket capacity.
+func (rl RateLimit) EffectiveBurst() int {
+	if rl.Burst > 0 {
+		return rl.Burst
+	}
+	if b := int(rl.RPS + 0.999999); b > 0 {
+		return b
+	}
+	return 1
+}
+
 // Tenant is one namespace's registration.
 type Tenant struct {
 	// Name identifies the tenant; lowercase [a-z0-9-], 1..64 bytes.
@@ -55,6 +79,8 @@ type Tenant struct {
 	Token string `json:"token,omitempty"`
 	// Quotas are the tenant's admission bounds.
 	Quotas Quotas `json:"quotas,omitempty"`
+	// Rate is the tenant's API request rate limit (zero: unlimited).
+	Rate RateLimit `json:"rate_limit,omitempty"`
 }
 
 // EffectiveWeight normalises the scheduling weight (>= 1).
@@ -92,6 +118,9 @@ func (t Tenant) Validate() error {
 	q := t.Quotas
 	if q.MaxQueuedJobs < 0 || q.MaxInflightCells < 0 || q.MaxPlannedStrikes < 0 {
 		return fmt.Errorf("tenant %q: negative quota", t.Name)
+	}
+	if t.Rate.RPS < 0 || t.Rate.Burst < 0 {
+		return fmt.Errorf("tenant %q: negative rate limit", t.Name)
 	}
 	return nil
 }
@@ -187,7 +216,7 @@ func (r *Registry) saveLocked() error {
 	}
 	var rec fileRecord
 	for _, t := range r.allLocked() {
-		if t.Name == Default && t.Weight <= 1 && t.Token == "" && t.Quotas == (Quotas{}) {
+		if t.Name == Default && t.Weight <= 1 && t.Token == "" && t.Quotas == (Quotas{}) && t.Rate == (RateLimit{}) {
 			continue
 		}
 		rec.Tenants = append(rec.Tenants, t)
@@ -207,6 +236,33 @@ func (r *Registry) saveLocked() error {
 	if err := os.Rename(tmp, r.path); err != nil {
 		return fmt.Errorf("tenant: %w", err)
 	}
+	return nil
+}
+
+// Reload re-reads the backing file and swaps the tenant table
+// atomically: every reader sees either the old table or the new one,
+// never a mix, and a parse or validation error leaves the old table
+// fully in place. In-memory registries are a no-op. A deleted file
+// resets the registry to the default tenant alone — the same state Load
+// would produce.
+//
+// Callers holding references to this *Registry (the service manager,
+// the API middleware) observe the new weights, tokens, quotas and rate
+// limits on their next lookup; re-weighting jobs already queued is the
+// manager's job (sched.Queue.SetWeight), since only it knows which
+// tenants still hold backlog.
+func (r *Registry) Reload() error {
+	if r.path == "" {
+		return nil
+	}
+	fresh, err := Load(r.path)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.tenants = fresh.tenants
+	r.byToken = fresh.byToken
+	r.mu.Unlock()
 	return nil
 }
 

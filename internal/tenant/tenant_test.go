@@ -107,3 +107,84 @@ func TestLoadRejectsBadFile(t *testing.T) {
 		t.Fatal("Load accepted malformed JSON")
 	}
 }
+
+// TestReloadSwapsAtomically: editing tenants.json and calling Reload
+// swaps weights, tokens and rate limits in one step; a broken file
+// leaves the old table untouched; a deleted file resets to default-only.
+func TestReloadSwapsAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Upsert(Tenant{Name: "alpha", Weight: 3, Token: "tok-a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-edit the file the way an operator would: alpha re-weighted and
+	// re-keyed, beta added with a rate limit, then SIGHUP-style Reload.
+	next := `{"tenants":[
+	  {"name":"alpha","weight":5,"token":"tok-a2"},
+	  {"name":"beta","weight":1,"rate_limit":{"rps":2,"burst":4}}
+	]}`
+	if err := os.WriteFile(path, []byte(next), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.Weight("alpha"); w != 5 {
+		t.Errorf("alpha weight = %d, want 5", w)
+	}
+	if _, ok := r.ResolveToken("tok-a"); ok {
+		t.Error("stale token still resolves after reload")
+	}
+	if tn, ok := r.ResolveToken("tok-a2"); !ok || tn.Name != "alpha" {
+		t.Errorf("new token resolves to %v/%v, want alpha", tn.Name, ok)
+	}
+	if tn, ok := r.Get("beta"); !ok || tn.Rate.RPS != 2 || tn.Rate.EffectiveBurst() != 4 {
+		t.Errorf("beta rate = %+v/%v, want rps 2 burst 4", tn.Rate, ok)
+	}
+
+	// A torn write must not take down the live table.
+	if err := os.WriteFile(path, []byte(`{"tenants":[{"name":"UPPER"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err == nil {
+		t.Fatal("reload of an invalid file did not error")
+	}
+	if w := r.Weight("alpha"); w != 5 {
+		t.Errorf("failed reload disturbed the table: alpha weight = %d, want 5", w)
+	}
+
+	// Deleted file: back to the default tenant alone.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Get("alpha"); ok {
+		t.Error("removed tenant survived reload of a deleted file")
+	}
+	if w := r.Weight("alpha"); w != 1 {
+		t.Errorf("removed tenant weight = %d, want fallback 1", w)
+	}
+}
+
+func TestEffectiveBurst(t *testing.T) {
+	cases := []struct {
+		rl   RateLimit
+		want int
+	}{
+		{RateLimit{}, 1},
+		{RateLimit{RPS: 0.5}, 1},
+		{RateLimit{RPS: 2.5}, 3},
+		{RateLimit{RPS: 10, Burst: 2}, 2},
+	}
+	for _, c := range cases {
+		if got := c.rl.EffectiveBurst(); got != c.want {
+			t.Errorf("EffectiveBurst(%+v) = %d, want %d", c.rl, got, c.want)
+		}
+	}
+}
